@@ -1,0 +1,14 @@
+"""Pytest bootstrap: make ``src/`` importable without an installed package.
+
+The library is normally installed with ``pip install -e .`` (or
+``python setup.py develop`` on fully offline machines without the ``wheel``
+package).  Inserting ``src/`` here as a fallback lets ``pytest`` run straight
+from a fresh checkout as well.
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The project metadata lives in ``pyproject.toml``.  This file only exists so
+that ``pip install -e .`` keeps working on environments whose ``setuptools``
+lacks PEP 660 editable-wheel support (for example fully offline machines
+without the ``wheel`` package).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,21 @@
+"""Reproduction of "Decoupled Vector Architectures" (Espasa & Valero, HPCA 1996).
+
+The package is organised as a stack of substrates topped by the paper's
+contribution:
+
+* :mod:`repro.isa` — Convex C34-style vector instruction set model.
+* :mod:`repro.trace` — dynamic instruction traces (the Dixie substitute).
+* :mod:`repro.workloads` — synthetic Perfect Club workload models and a small
+  vectorizing compiler.
+* :mod:`repro.memory` — memory latency model, scalar cache and vector memory
+  disambiguation.
+* :mod:`repro.refarch` — the reference (non-decoupled) vector architecture.
+* :mod:`repro.dva` — the decoupled vector architecture with load/store queues
+  and the store→load bypass.
+* :mod:`repro.core` — configuration, experiment runner, lower bounds, metrics
+  and figure/table reproduction.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,34 @@
+"""Exception hierarchy for the reproduction library.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers embedding the simulators can catch a single exception type at the
+boundary of their own code.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ConfigurationError(ReproError):
+    """An architectural or experiment configuration is invalid.
+
+    Raised, for example, when a queue is given a non-positive capacity or a
+    memory latency is negative.
+    """
+
+
+class WorkloadError(ReproError):
+    """A workload or loop-kernel description cannot be compiled or generated."""
+
+
+class TraceError(ReproError):
+    """A dynamic trace is malformed or cannot be read/written."""
+
+
+class SimulationError(ReproError):
+    """A simulator reached an inconsistent state.
+
+    This always indicates a bug in the simulator (or a trace that violates the
+    ISA contract), never a legitimate architectural condition.
+    """

@@ -1,0 +1,215 @@
+"""Busy-interval bookkeeping for event-driven simulation.
+
+The reference and decoupled simulators do not step cycle by cycle.  Instead,
+each hardware resource (functional unit, memory port, queue slot) records the
+half-open intervals ``[start, end)`` during which it was occupied.  The
+functions here merge, intersect and measure those intervals so that per-cycle
+statistics — such as the eight-state execution breakdown of Figure 1 — can be
+recovered exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+from repro.common.errors import SimulationError
+
+
+@dataclass(frozen=True, order=True)
+class Interval:
+    """A half-open interval ``[start, end)`` measured in cycles."""
+
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise SimulationError(
+                f"interval end ({self.end}) precedes start ({self.start})"
+            )
+
+    @property
+    def length(self) -> int:
+        """Number of cycles covered by the interval."""
+        return self.end - self.start
+
+    def overlaps(self, other: "Interval") -> bool:
+        """Return ``True`` when the two intervals share at least one cycle."""
+        return self.start < other.end and other.start < self.end
+
+    def intersection(self, other: "Interval") -> "Interval | None":
+        """Return the overlapping part of the two intervals, or ``None``."""
+        start = max(self.start, other.start)
+        end = min(self.end, other.end)
+        if start >= end:
+            return None
+        return Interval(start, end)
+
+    def __bool__(self) -> bool:
+        return self.length > 0
+
+
+class IntervalRecorder:
+    """Accumulates busy intervals for one resource.
+
+    The recorder accepts intervals in any order and tolerates overlapping
+    pushes (overlaps are merged when the intervals are read back).  It is the
+    building block used by the simulators to describe functional-unit and
+    memory-port occupancy.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._intervals: list[Interval] = []
+
+    def record(self, start: int, end: int) -> None:
+        """Record that the resource was busy over ``[start, end)``.
+
+        Zero-length intervals are ignored so callers do not need to special
+        case instructions that occupy a unit for zero cycles (for example a
+        vector instruction with vector length zero).
+        """
+        if end < start:
+            raise SimulationError(
+                f"resource {self.name!r}: busy interval ends ({end}) before it starts ({start})"
+            )
+        if end == start:
+            return
+        self._intervals.append(Interval(start, end))
+
+    def record_interval(self, interval: Interval) -> None:
+        """Record an already-constructed :class:`Interval`."""
+        self.record(interval.start, interval.end)
+
+    @property
+    def raw_intervals(self) -> Sequence[Interval]:
+        """The intervals exactly as recorded (possibly overlapping)."""
+        return tuple(self._intervals)
+
+    def merged(self) -> list[Interval]:
+        """Return the recorded intervals merged into disjoint, sorted pieces."""
+        return merge_intervals(self._intervals)
+
+    def busy_time(self) -> int:
+        """Total number of distinct cycles during which the resource was busy."""
+        return total_busy_time(self._intervals)
+
+    def busy_at(self, cycle: int) -> bool:
+        """Return ``True`` when the resource is busy during ``cycle``."""
+        return any(iv.start <= cycle < iv.end for iv in self._intervals)
+
+    def last_end(self) -> int:
+        """Cycle at which the resource last became free (0 when never used)."""
+        if not self._intervals:
+            return 0
+        return max(iv.end for iv in self._intervals)
+
+    def __len__(self) -> int:
+        return len(self._intervals)
+
+    def __iter__(self) -> Iterator[Interval]:
+        return iter(self._intervals)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"IntervalRecorder(name={self.name!r}, intervals={len(self._intervals)})"
+
+
+def merge_intervals(intervals: Iterable[Interval]) -> list[Interval]:
+    """Merge possibly-overlapping intervals into disjoint sorted intervals."""
+    ordered = sorted(intervals, key=lambda iv: (iv.start, iv.end))
+    merged: list[Interval] = []
+    for interval in ordered:
+        if interval.length == 0:
+            continue
+        if merged and interval.start <= merged[-1].end:
+            previous = merged[-1]
+            if interval.end > previous.end:
+                merged[-1] = Interval(previous.start, interval.end)
+        else:
+            merged.append(interval)
+    return merged
+
+
+def total_busy_time(intervals: Iterable[Interval]) -> int:
+    """Number of distinct cycles covered by a collection of intervals."""
+    return sum(iv.length for iv in merge_intervals(intervals))
+
+
+@dataclass
+class StateBreakdown:
+    """Cycles spent in each combination of busy resources.
+
+    The paper describes the reference machine with a 3-tuple
+    ``(FU2, FU1, LD)`` and partitions execution time into the eight possible
+    busy/idle combinations.  :func:`state_breakdown` computes this partition
+    for an arbitrary number of resources; keys are tuples of booleans in the
+    order the recorders were supplied.
+    """
+
+    resource_names: tuple[str, ...]
+    cycles: dict[tuple[bool, ...], int] = field(default_factory=dict)
+    total_cycles: int = 0
+
+    def cycles_in(self, *busy: bool) -> int:
+        """Cycles spent with exactly the given busy pattern."""
+        return self.cycles.get(tuple(busy), 0)
+
+    def cycles_all_idle(self) -> int:
+        """Cycles spent with every resource idle — the paper's ``( , , )`` state."""
+        return self.cycles_in(*([False] * len(self.resource_names)))
+
+    def cycles_resource_idle(self, name: str) -> int:
+        """Total cycles during which the named resource was idle."""
+        index = self.resource_names.index(name)
+        return sum(
+            count for pattern, count in self.cycles.items() if not pattern[index]
+        )
+
+    def fraction(self, *busy: bool) -> float:
+        """Fraction of total cycles spent with the given busy pattern."""
+        if self.total_cycles == 0:
+            return 0.0
+        return self.cycles_in(*busy) / self.total_cycles
+
+
+def state_breakdown(
+    recorders: Sequence[IntervalRecorder], total_cycles: int
+) -> StateBreakdown:
+    """Partition ``[0, total_cycles)`` by which resources are busy.
+
+    The breakdown is computed with a sweep over the interval endpoints, so its
+    cost is proportional to the number of recorded intervals rather than to
+    the number of cycles simulated.
+    """
+    names = tuple(recorder.name for recorder in recorders)
+    result = StateBreakdown(resource_names=names, total_cycles=total_cycles)
+    if total_cycles <= 0:
+        return result
+
+    merged_per_resource = [recorder.merged() for recorder in recorders]
+    boundaries = {0, total_cycles}
+    for intervals in merged_per_resource:
+        for interval in intervals:
+            if interval.start < total_cycles:
+                boundaries.add(interval.start)
+            if interval.end < total_cycles:
+                boundaries.add(interval.end)
+    ordered = sorted(boundaries)
+
+    cursors = [0] * len(recorders)
+    for index, start in enumerate(ordered):
+        end = ordered[index + 1] if index + 1 < len(ordered) else total_cycles
+        if end <= start:
+            continue
+        pattern: list[bool] = []
+        for res_index, intervals in enumerate(merged_per_resource):
+            cursor = cursors[res_index]
+            while cursor < len(intervals) and intervals[cursor].end <= start:
+                cursor += 1
+            cursors[res_index] = cursor
+            busy = cursor < len(intervals) and intervals[cursor].start <= start
+            pattern.append(busy)
+        key = tuple(pattern)
+        result.cycles[key] = result.cycles.get(key, 0) + (end - start)
+    return result

@@ -1,0 +1,143 @@
+"""Small statistics helpers shared across the library."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Iterator, Tuple
+
+
+class Histogram:
+    """An integer-keyed histogram with integer weights.
+
+    Used for queue-occupancy distributions (Figure 6) and vector-length
+    distributions of workloads.
+    """
+
+    def __init__(self) -> None:
+        self._counts: Dict[int, int] = {}
+
+    def add(self, key: int, weight: int = 1) -> None:
+        """Add ``weight`` observations of ``key``."""
+        if weight == 0:
+            return
+        self._counts[key] = self._counts.get(key, 0) + weight
+
+    def count(self, key: int) -> int:
+        """Number of observations recorded for ``key``."""
+        return self._counts.get(key, 0)
+
+    def total(self) -> int:
+        """Total weight across all keys."""
+        return sum(self._counts.values())
+
+    def keys(self) -> list[int]:
+        return sorted(self._counts)
+
+    def items(self) -> Iterator[Tuple[int, int]]:
+        return iter(sorted(self._counts.items()))
+
+    def max_key(self) -> int:
+        """Largest key with a non-zero count (0 for an empty histogram)."""
+        return max(self._counts, default=0)
+
+    def mean(self) -> float:
+        """Weighted mean of the keys."""
+        total = self.total()
+        if total == 0:
+            return 0.0
+        return sum(key * count for key, count in self._counts.items()) / total
+
+    def fraction_at_or_below(self, key: int) -> float:
+        """Fraction of the total weight at keys less than or equal to ``key``."""
+        total = self.total()
+        if total == 0:
+            return 0.0
+        below = sum(count for k, count in self._counts.items() if k <= key)
+        return below / total
+
+    def as_dict(self) -> Dict[int, int]:
+        """A plain ``dict`` copy of the histogram contents."""
+        return dict(self._counts)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Histogram):
+            return NotImplemented
+        return self._counts == other._counts
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Histogram({dict(sorted(self._counts.items()))!r})"
+
+
+class RunningStats:
+    """Streaming mean / variance / min / max accumulator (Welford's method)."""
+
+    def __init__(self) -> None:
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+
+    def add(self, value: float) -> None:
+        """Fold one observation into the accumulator."""
+        self.count += 1
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+        self.minimum = min(self.minimum, value)
+        self.maximum = max(self.maximum, value)
+
+    def extend(self, values: Iterable[float]) -> None:
+        """Fold many observations into the accumulator."""
+        for value in values:
+            self.add(value)
+
+    @property
+    def mean(self) -> float:
+        return self._mean if self.count else 0.0
+
+    @property
+    def variance(self) -> float:
+        """Population variance of the observations seen so far."""
+        if self.count < 2:
+            return 0.0
+        return self._m2 / self.count
+
+    @property
+    def stddev(self) -> float:
+        return math.sqrt(self.variance)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RunningStats(count={self.count}, mean={self.mean:.4g}, "
+            f"stddev={self.stddev:.4g})"
+        )
+
+
+def weighted_mean(pairs: Iterable[Tuple[float, float]]) -> float:
+    """Mean of ``value`` weighted by ``weight`` for ``(value, weight)`` pairs."""
+    total_weight = 0.0
+    total = 0.0
+    for value, weight in pairs:
+        total += value * weight
+        total_weight += weight
+    if total_weight == 0:
+        return 0.0
+    return total / total_weight
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean of strictly positive values (0.0 for an empty input)."""
+    log_sum = 0.0
+    count = 0
+    for value in values:
+        if value <= 0:
+            raise ValueError("geometric mean requires strictly positive values")
+        log_sum += math.log(value)
+        count += 1
+    if count == 0:
+        return 0.0
+    return math.exp(log_sum / count)

@@ -1,0 +1,116 @@
+"""Occupancy timelines for queues.
+
+Figure 6 of the paper plots, for each benchmark, how many cycles the AVDQ
+(the vector load data queue) held 0, 1, 2, ... busy slots.  The decoupled
+simulator records one ``(enter, leave)`` pair per queue element; the
+:class:`OccupancyTimeline` sweeps those events to reconstruct the per-cycle
+occupancy histogram without stepping cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.common.errors import SimulationError
+from repro.common.stats import Histogram
+
+
+@dataclass(frozen=True)
+class Residency:
+    """The lifetime of one element inside a queue: ``[enter, leave)``."""
+
+    enter: int
+    leave: int
+
+    def __post_init__(self) -> None:
+        if self.leave < self.enter:
+            raise SimulationError(
+                f"queue element leaves ({self.leave}) before it enters ({self.enter})"
+            )
+
+
+class OccupancyTimeline:
+    """Records element residencies of a bounded queue and derives statistics."""
+
+    def __init__(self, name: str, capacity: int | None = None) -> None:
+        self.name = name
+        self.capacity = capacity
+        self._residencies: list[Residency] = []
+
+    def record(self, enter: int, leave: int) -> None:
+        """Record that one element occupied a slot during ``[enter, leave)``."""
+        if leave == enter:
+            return
+        self._residencies.append(Residency(enter, leave))
+
+    @property
+    def residencies(self) -> tuple[Residency, ...]:
+        return tuple(self._residencies)
+
+    def occupancy_histogram(self, total_cycles: int) -> Histogram:
+        """Cycles spent at each occupancy level over ``[0, total_cycles)``."""
+        return occupancy_histogram(self._residencies, total_cycles)
+
+    def max_occupancy(self) -> int:
+        """The largest number of simultaneously-resident elements ever observed."""
+        histogram = self.occupancy_histogram(self._horizon())
+        occupied_levels = [level for level, count in histogram.items() if count > 0]
+        return max(occupied_levels, default=0)
+
+    def mean_occupancy(self, total_cycles: int) -> float:
+        """Time-weighted mean number of busy slots over ``[0, total_cycles)``."""
+        if total_cycles <= 0:
+            return 0.0
+        histogram = self.occupancy_histogram(total_cycles)
+        weighted = sum(level * cycles for level, cycles in histogram.items())
+        return weighted / total_cycles
+
+    def _horizon(self) -> int:
+        if not self._residencies:
+            return 0
+        return max(residency.leave for residency in self._residencies)
+
+    def __len__(self) -> int:
+        return len(self._residencies)
+
+
+def occupancy_histogram(
+    residencies: Iterable[Residency], total_cycles: int
+) -> Histogram:
+    """Compute cycles-at-each-occupancy-level from residency records.
+
+    Cycles beyond the lifetime of the last element count as occupancy zero so
+    the histogram always sums to ``total_cycles``.
+    """
+    histogram = Histogram()
+    if total_cycles <= 0:
+        return histogram
+
+    events: list[tuple[int, int]] = []
+    for residency in residencies:
+        start = min(residency.enter, total_cycles)
+        end = min(residency.leave, total_cycles)
+        if end > start:
+            events.append((start, +1))
+            events.append((end, -1))
+
+    if not events:
+        histogram.add(0, total_cycles)
+        return histogram
+
+    events.sort()
+    level = 0
+    previous_time = 0
+    index = 0
+    while index < len(events):
+        time = events[index][0]
+        if time > previous_time:
+            histogram.add(level, time - previous_time)
+            previous_time = time
+        while index < len(events) and events[index][0] == time:
+            level += events[index][1]
+            index += 1
+    if previous_time < total_cycles:
+        histogram.add(level, total_cycles - previous_time)
+    return histogram

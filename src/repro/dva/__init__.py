@@ -1,0 +1,39 @@
+"""The decoupled vector architecture (DVA) simulator.
+
+This package models the architecture of paper §4: the instruction stream is
+split by a fetch processor (FP) into three streams executed by an address
+processor (AP), a vector processor (VP) and a scalar processor (SP), connected
+through architectural queues:
+
+* instruction queues (APIQ, VPIQ, SPIQ — 16 entries each by default),
+* the vector load data queue AVDQ (AP → VP, 256 vector-register slots),
+* the vector store data queue VADQ (VP → AP, 16 slots),
+* scalar data queues (AP ↔ SP, 256 slots),
+* store *address* queues (VSAQ for vector stores, SSAQ for scalar stores) used
+  by the two-step store mechanism and by dynamic memory disambiguation.
+
+Stores are performed "behind the back" of the AP once both their address and
+their data have reached the queues; loads are disambiguated against every
+queued store and force the conflicting prefix of the store queues to drain
+before they may access memory.  Optionally, a load that is *identical* to a
+queued store is serviced by the bypass unit (§7), which copies the data from
+the VADQ to the AVDQ without touching main memory.
+
+Like the reference simulator, the implementation is event driven: the dynamic
+trace is processed once, in program order, and each processor/queue keeps the
+timestamps at which its resources become free.  Per-cycle statistics (queue
+occupancy histograms, unit state breakdowns) are reconstructed from the
+recorded intervals.
+"""
+
+from repro.dva.config import DecoupledConfig, QueueSizes
+from repro.dva.result import DecoupledResult
+from repro.dva.simulator import DecoupledSimulator, simulate_decoupled
+
+__all__ = [
+    "DecoupledConfig",
+    "DecoupledResult",
+    "DecoupledSimulator",
+    "QueueSizes",
+    "simulate_decoupled",
+]

@@ -1,0 +1,334 @@
+"""The address processor's memory pipeline.
+
+This module models everything that sits between the address processor and
+main memory in the decoupled architecture (paper §4.2):
+
+* the single pipelined memory port with its shared address bus,
+* the two-step store mechanism: store addresses wait in the VSAQ/SSAQ until
+  the matching data arrives in the VADQ/SADQ, after which the store is
+  performed "behind the back" of the AP,
+* dynamic memory disambiguation: a load is checked against every queued
+  store; on a conflict the store queues drain up to the youngest offending
+  store before the load may access memory,
+* the store→load bypass (§7): a load identical to a queued vector store is
+  serviced by copying the data from the VADQ into the AVDQ in VL cycles,
+  without using the memory port and without paying memory latency,
+* the scalar cache that filters scalar references away from the port.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.common.errors import SimulationError
+from repro.common.intervals import IntervalRecorder
+from repro.dva.config import DecoupledConfig
+from repro.dva.queues import TimedQueue
+from repro.memory.model import MemoryModel
+from repro.memory.ranges import MemoryRange, accesses_identical, range_of_access
+from repro.memory.scalar_cache import ScalarCache
+from repro.trace.record import DynamicInstruction
+
+
+@dataclass
+class PendingStore:
+    """A store whose address sits in a store queue awaiting its data."""
+
+    record: DynamicInstruction
+    memory_range: MemoryRange
+    is_vector: bool
+    address_queue_index: int
+    address_ready: int
+    data_queue_index: Optional[int] = None
+    data_ready: Optional[int] = None
+    drained: bool = False
+    drain_end: int = 0
+    bypassed_to_loads: int = 0
+
+    @property
+    def ready(self) -> int:
+        """Cycle at which both address and data are available."""
+        if self.data_ready is None:
+            raise SimulationError(
+                f"store {self.record} has no data yet; the producing QMOV must "
+                f"be simulated before the store can be performed"
+            )
+        return max(self.address_ready, self.data_ready)
+
+
+@dataclass
+class VectorLoadOutcome:
+    """How one vector load was serviced."""
+
+    start: int
+    data_ready: int
+    bypassed: bool
+
+
+class MemoryPipeline:
+    """Port, store queues, disambiguation and bypass of the decoupled AP."""
+
+    def __init__(self, memory: MemoryModel, config: DecoupledConfig) -> None:
+        self.memory = memory
+        self.config = config
+        self.cache = ScalarCache(config.scalar_cache)
+
+        queues = config.queues
+        self.vsaq = TimedQueue("VSAQ", queues.effective_vector_store_address)
+        self.ssaq = TimedQueue("SSAQ", queues.scalar_store_address)
+        self.vadq = TimedQueue("VADQ", queues.vector_store_data)
+        self.sadq = TimedQueue("SADQ", queues.scalar_data)
+        self.avdq = TimedQueue("AVDQ", queues.vector_load_data)
+        self.asdq = TimedQueue("ASDQ", queues.scalar_data)
+
+        self.port = IntervalRecorder("LD")
+        self.bypass_unit = IntervalRecorder("BYPASS")
+        self.port_free = 0
+        self.bypass_free = 0
+
+        self.pending_stores: List[PendingStore] = []
+        self._next_undrained = 0
+
+        self.traffic_bytes = 0
+        self.bypassed_loads = 0
+        self.bypassed_bytes = 0
+        self.disambiguation_stalls = 0
+        self.forced_drains = 0
+
+    # -- store bookkeeping -------------------------------------------------------------
+
+    def enqueue_vector_store(self, record: DynamicInstruction, requested: int) -> int:
+        """Put a vector store's address into the VSAQ; return the push cycle."""
+        self._make_room(self.vsaq)
+        push_time = self.vsaq.push(requested)
+        store = PendingStore(
+            record=record,
+            memory_range=range_of_access(record),
+            is_vector=True,
+            address_queue_index=self.vsaq.last_index,
+            address_ready=push_time + 1,
+        )
+        self.pending_stores.append(store)
+        return push_time
+
+    def enqueue_scalar_store(self, record: DynamicInstruction, requested: int) -> int:
+        """Put a scalar store's address into the SSAQ; return the push cycle."""
+        self._make_room(self.ssaq)
+        push_time = self.ssaq.push(requested)
+        store = PendingStore(
+            record=record,
+            memory_range=range_of_access(record),
+            is_vector=False,
+            address_queue_index=self.ssaq.last_index,
+            address_ready=push_time + 1,
+        )
+        self.pending_stores.append(store)
+        return push_time
+
+    def reserve_vector_store_data_slot(self, requested: int) -> int:
+        """Reserve a VADQ slot for a QMOV (forcing a drain when the queue is full)."""
+        self._make_room(self.vadq)
+        return self.vadq.earliest_push(requested)
+
+    def attach_vector_store_data(
+        self, record: DynamicInstruction, push_time: int, data_ready: int
+    ) -> None:
+        """Record that the VP has moved a store's data into the VADQ."""
+        self.vadq.push(push_time, ready=data_ready)
+        store = self._find_pending(record)
+        store.data_queue_index = self.vadq.last_index
+        store.data_ready = data_ready
+
+    def attach_scalar_store_data(
+        self, record: DynamicInstruction, push_time: int, data_ready: int
+    ) -> None:
+        """Record that the SP has moved a store's data into the SADQ."""
+        self.sadq.push(push_time, ready=data_ready)
+        store = self._find_pending(record)
+        store.data_queue_index = self.sadq.last_index
+        store.data_ready = data_ready
+
+    def _find_pending(self, record: DynamicInstruction) -> PendingStore:
+        for store in reversed(self.pending_stores):
+            if store.record is record:
+                return store
+        raise SimulationError(f"no pending store found for {record}")
+
+    def _make_room(self, queue: TimedQueue) -> None:
+        """Force-drain old stores until ``queue`` has a free slot."""
+        while queue.outstanding >= queue.capacity:
+            if self._next_undrained >= len(self.pending_stores):
+                raise SimulationError(
+                    f"queue {queue.name!r} is full but there is nothing left to drain"
+                )
+            self.forced_drains += 1
+            self._drain_oldest()
+
+    # -- load servicing -----------------------------------------------------------------
+
+    def reserve_load_data_slot(self, requested: int) -> int:
+        """Earliest cycle the AVDQ can accept another vector load."""
+        return self.avdq.earliest_push(requested)
+
+    def issue_vector_load(
+        self, record: DynamicInstruction, requested: int
+    ) -> VectorLoadOutcome:
+        """Service a vector load: bypass it or send it to main memory.
+
+        ``requested`` is the cycle at which the AP has the load ready to go
+        (operands available, AVDQ slot reservable).  The returned outcome
+        gives the cycle the load started and the cycle its last element is
+        available in the AVDQ.
+        """
+        load_range = range_of_access(record)
+        conflict_index = self._youngest_conflict(load_range)
+
+        if conflict_index is not None and self.config.enable_bypass:
+            candidate = self.pending_stores[conflict_index]
+            if not candidate.drained and accesses_identical(record, candidate.record):
+                return self._bypass_load(record, requested, candidate)
+
+        if conflict_index is not None:
+            requested = max(requested, self._drain_through(conflict_index))
+            self.disambiguation_stalls += 1
+
+        return self._memory_load(record, requested)
+
+    def issue_scalar_load(self, record: DynamicInstruction, requested: int) -> int:
+        """Service a scalar load through the cache; return its data-ready cycle."""
+        load_range = range_of_access(record)
+        conflict_index = self._youngest_conflict(load_range)
+        if conflict_index is not None:
+            requested = max(requested, self._drain_through(conflict_index))
+            self.disambiguation_stalls += 1
+
+        if record.base_address is None:
+            raise SimulationError(f"scalar load without an address: {record}")
+        hit = self.cache.access(record.base_address)
+        if hit:
+            return requested + self.config.scalar_cache.hit_latency
+
+        self._drain_ready_stores(requested)
+        bus_start = max(self.port_free, requested)
+        bus_end = bus_start + self.memory.timings.scalar_bus_cycles
+        self.port.record(bus_start, bus_end)
+        self.port_free = bus_end
+        self.traffic_bytes += self.memory.traffic_bytes(record)
+        return bus_start + 1 + self.memory.latency
+
+    def _bypass_load(
+        self, record: DynamicInstruction, requested: int, store: PendingStore
+    ) -> VectorLoadOutcome:
+        start = max(requested, self.bypass_free, store.ready)
+        length = max(record.vector_length, 1)
+        end = start + length
+        self.bypass_unit.record(start, end)
+        self.bypass_free = end
+        self.bypassed_loads += 1
+        self.bypassed_bytes += record.bytes_accessed
+        store.bypassed_to_loads += 1
+        return VectorLoadOutcome(start=start, data_ready=end, bypassed=True)
+
+    def _memory_load(
+        self, record: DynamicInstruction, requested: int
+    ) -> VectorLoadOutcome:
+        self._drain_ready_stores(requested)
+        bus_start = max(self.port_free, requested)
+        bus_cycles = self.memory.bus_occupancy(record)
+        bus_end = bus_start + bus_cycles
+        self.port.record(bus_start, bus_end)
+        self.port_free = bus_end
+        self.traffic_bytes += self.memory.traffic_bytes(record)
+        data_ready = self.memory.load_complete(record, bus_start)
+        return VectorLoadOutcome(start=bus_start, data_ready=data_ready, bypassed=False)
+
+    # -- disambiguation and draining ------------------------------------------------------
+
+    def _youngest_conflict(self, load_range: MemoryRange) -> Optional[int]:
+        """Index of the youngest queued (undrained) store overlapping ``load_range``."""
+        for index in range(len(self.pending_stores) - 1, self._next_undrained - 1, -1):
+            store = self.pending_stores[index]
+            if store.drained:
+                continue
+            if store.memory_range.overlaps(load_range):
+                return index
+        return None
+
+    def _drain_through(self, last_index: int) -> int:
+        """Perform every queued store up to and including ``last_index``."""
+        finish = 0
+        while self._next_undrained <= last_index:
+            finish = self._drain_oldest()
+        return finish
+
+    def _drain_ready_stores(self, candidate_start: int) -> None:
+        """Let stores that are already waiting use the port before a later load.
+
+        Stores are performed behind the AP's back whenever both their address
+        and data are present; when such a store would be ready no later than
+        the load that is currently asking for the port, it goes first (stores
+        among themselves always retire in program order).
+        """
+        while self._next_undrained < len(self.pending_stores):
+            store = self.pending_stores[self._next_undrained]
+            if store.data_ready is None:
+                break
+            if max(self.port_free, store.ready) > max(self.port_free, candidate_start):
+                break
+            self._drain_oldest()
+
+    def _drain_oldest(self) -> int:
+        store = self.pending_stores[self._next_undrained]
+        self._next_undrained += 1
+        end = self._perform_store(store)
+        return end
+
+    def _perform_store(self, store: PendingStore) -> int:
+        if store.drained:
+            return store.drain_end
+        ready = store.ready
+        if store.is_vector:
+            bus_start = max(self.port_free, ready)
+            bus_end = bus_start + self.memory.bus_occupancy(store.record)
+            self.port.record(bus_start, bus_end)
+            self.port_free = bus_end
+            self.traffic_bytes += self.memory.traffic_bytes(store.record)
+            self.vsaq.pop(bus_end)
+            self.vadq.pop(bus_end)
+            store.drain_end = bus_end
+        else:
+            store.drain_end = self._perform_scalar_store(store, ready)
+        store.drained = True
+        return store.drain_end
+
+    def _perform_scalar_store(self, store: PendingStore, ready: int) -> int:
+        if store.record.base_address is None:
+            raise SimulationError(f"scalar store without an address: {store.record}")
+        hit = self.cache.access(store.record.base_address)
+        uses_port = self.config.scalar_store_writes_through or not hit
+        if uses_port:
+            bus_start = max(self.port_free, ready)
+            bus_end = bus_start + self.memory.timings.scalar_bus_cycles
+            self.port.record(bus_start, bus_end)
+            self.port_free = bus_end
+            self.traffic_bytes += self.memory.traffic_bytes(store.record)
+            end = bus_end
+        else:
+            end = ready + 1
+        self.ssaq.pop(end)
+        self.sadq.pop(end)
+        return end
+
+    # -- wind-down -------------------------------------------------------------------------
+
+    def drain_all(self) -> int:
+        """Perform every store still sitting in the queues; return the last cycle."""
+        finish = self.port_free
+        while self._next_undrained < len(self.pending_stores):
+            finish = max(finish, self._drain_oldest())
+        return finish
+
+    @property
+    def outstanding_stores(self) -> int:
+        return len(self.pending_stores) - self._next_undrained

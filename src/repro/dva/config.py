@@ -1,0 +1,126 @@
+"""Configuration of the decoupled vector architecture."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.common.errors import ConfigurationError
+from repro.memory.scalar_cache import ScalarCacheConfig
+
+
+@dataclass(frozen=True)
+class QueueSizes:
+    """Capacities of the architectural queues (paper §5 defaults).
+
+    Attributes:
+        instruction_queue: slots in each of APIQ, VPIQ and SPIQ.
+        vector_load_data: slots in the AVDQ; each slot holds one whole vector
+            register (the paper's default study uses 256, the bypass study
+            reduces it to 4).
+        vector_store_data: slots in the VADQ (16 in all paper experiments).
+        vector_store_address: slots in the VSAQ; the paper treats the "store
+            queue length" as a single parameter, so this defaults to the same
+            value as ``vector_store_data``.
+        scalar_store_address: slots in the SSAQ.
+        scalar_data: slots in the scalar data queues between AP and SP.
+    """
+
+    instruction_queue: int = 16
+    vector_load_data: int = 256
+    vector_store_data: int = 16
+    vector_store_address: int | None = None
+    scalar_store_address: int = 16
+    scalar_data: int = 256
+
+    def __post_init__(self) -> None:
+        for name in ("instruction_queue", "vector_load_data", "vector_store_data",
+                     "scalar_store_address", "scalar_data"):
+            if getattr(self, name) <= 0:
+                raise ConfigurationError(f"queue size {name!r} must be positive")
+        if self.vector_store_address is not None and self.vector_store_address <= 0:
+            raise ConfigurationError("queue size 'vector_store_address' must be positive")
+
+    @property
+    def effective_vector_store_address(self) -> int:
+        """VSAQ size: defaults to the VADQ size unless overridden."""
+        if self.vector_store_address is not None:
+            return self.vector_store_address
+        return self.vector_store_data
+
+
+@dataclass(frozen=True)
+class DecoupledConfig:
+    """Architectural parameters of the decoupled machine.
+
+    Attributes:
+        queues: capacities of the architectural queues.
+        enable_bypass: service loads identical to a queued store from the
+            VADQ→AVDQ bypass path instead of main memory (paper §7).
+        qmov_units: number of queue-move units in the VP (the paper uses two).
+        functional_unit_startup: pipeline depth of the vector functional units.
+        queue_move_startup: cycles before the first element moved by a QMOV
+            becomes available for chaining.
+        fetch_per_cycle: instructions the FP can translate and distribute per
+            cycle.
+        cross_processor_delay: cycles to move a scalar value between
+            processors through the (large) scalar queues.
+        scalar_cache: geometry of the scalar cache in front of the AP.
+        scalar_store_writes_through: when ``True`` scalar stores always use
+            the memory port.
+    """
+
+    queues: QueueSizes = field(default_factory=QueueSizes)
+    enable_bypass: bool = False
+    qmov_units: int = 2
+    functional_unit_startup: int = 4
+    queue_move_startup: int = 1
+    fetch_per_cycle: int = 1
+    cross_processor_delay: int = 1
+    scalar_cache: ScalarCacheConfig = field(default_factory=ScalarCacheConfig)
+    scalar_store_writes_through: bool = False
+
+    def __post_init__(self) -> None:
+        if self.qmov_units <= 0:
+            raise ConfigurationError("the VP needs at least one queue-move unit")
+        if self.functional_unit_startup < 0 or self.queue_move_startup < 0:
+            raise ConfigurationError("pipeline startup cannot be negative")
+        if self.fetch_per_cycle <= 0:
+            raise ConfigurationError("fetch width must be positive")
+        if self.cross_processor_delay < 0:
+            raise ConfigurationError("cross-processor delay cannot be negative")
+
+    # -- convenience constructors --------------------------------------------------
+
+    def with_bypass(self, enabled: bool = True) -> "DecoupledConfig":
+        """A copy of this configuration with bypassing switched on or off."""
+        return replace(self, enable_bypass=enabled)
+
+    def with_queue_sizes(
+        self,
+        load_slots: int | None = None,
+        store_slots: int | None = None,
+        instruction_slots: int | None = None,
+    ) -> "DecoupledConfig":
+        """A copy with different AVDQ / store-queue / instruction-queue sizes."""
+        queues = QueueSizes(
+            instruction_queue=(
+                instruction_slots if instruction_slots is not None else self.queues.instruction_queue
+            ),
+            vector_load_data=(
+                load_slots if load_slots is not None else self.queues.vector_load_data
+            ),
+            vector_store_data=(
+                store_slots if store_slots is not None else self.queues.vector_store_data
+            ),
+            vector_store_address=None,
+            scalar_store_address=self.queues.scalar_store_address,
+            scalar_data=self.queues.scalar_data,
+        )
+        return replace(self, queues=queues)
+
+
+def bypass_configuration(load_slots: int, store_slots: int) -> DecoupledConfig:
+    """The paper's ``BYP <load>/<store>`` configurations (Figure 7)."""
+    return DecoupledConfig(enable_bypass=True).with_queue_sizes(
+        load_slots=load_slots, store_slots=store_slots
+    )

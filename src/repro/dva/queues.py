@@ -1,0 +1,136 @@
+"""Timestamped bounded FIFO queues.
+
+The decoupled simulator never steps cycles; instead every queue keeps, per
+entry, the cycle at which the producer reserved the slot, the cycle at which
+the entry's data became available, and the cycle at which the consumer
+released the slot.  Because producers and consumers both work through the
+program in order, the blocking behaviour of a bounded FIFO reduces to simple
+timestamp arithmetic:
+
+* a push must wait until the entry ``capacity`` positions earlier has been
+  released, and
+* a pop must wait until the entry at the head of the queue is ready.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.common.errors import SimulationError
+from repro.common.timeline import OccupancyTimeline
+
+
+@dataclass
+class QueueEntry:
+    """Lifetime of one element of a timed queue."""
+
+    push_time: int
+    ready_time: int
+    pop_time: Optional[int] = None
+    payload: object = None
+
+
+class TimedQueue:
+    """A bounded FIFO described entirely by timestamps."""
+
+    def __init__(self, name: str, capacity: int) -> None:
+        if capacity <= 0:
+            raise SimulationError(f"queue {name!r} must have positive capacity")
+        self.name = name
+        self.capacity = capacity
+        self.entries: List[QueueEntry] = []
+        self._next_pop_index = 0
+        self.push_stall_cycles = 0
+
+    # -- producer side ---------------------------------------------------------------
+
+    def earliest_push(self, requested: int) -> int:
+        """Earliest cycle a new entry can be accepted, given the capacity."""
+        index = len(self.entries)
+        if index < self.capacity:
+            return requested
+        blocking = self.entries[index - self.capacity]
+        if blocking.pop_time is None:
+            raise SimulationError(
+                f"queue {self.name!r}: entry {index - self.capacity} has not been "
+                f"released yet; the consumer must be simulated first"
+            )
+        return max(requested, blocking.pop_time)
+
+    def push(self, requested: int, ready: Optional[int] = None, payload: object = None) -> int:
+        """Reserve a slot at the earliest legal cycle and return that cycle."""
+        push_time = self.earliest_push(requested)
+        self.push_stall_cycles += push_time - requested
+        entry = QueueEntry(
+            push_time=push_time,
+            ready_time=ready if ready is not None else push_time,
+            payload=payload,
+        )
+        self.entries.append(entry)
+        return push_time
+
+    def set_ready(self, index: int, ready: int) -> None:
+        """Record when the data of entry ``index`` becomes available."""
+        self.entries[index].ready_time = ready
+
+    @property
+    def last_index(self) -> int:
+        if not self.entries:
+            raise SimulationError(f"queue {self.name!r} is empty")
+        return len(self.entries) - 1
+
+    # -- consumer side ----------------------------------------------------------------
+
+    def front_index(self) -> int:
+        """Index of the entry the next pop will take."""
+        if self._next_pop_index >= len(self.entries):
+            raise SimulationError(f"queue {self.name!r}: pop with no outstanding entry")
+        return self._next_pop_index
+
+    def front(self) -> QueueEntry:
+        return self.entries[self.front_index()]
+
+    def pop(self, requested: int) -> QueueEntry:
+        """Release the entry at the head of the queue at ``requested`` or later.
+
+        The caller decides what "consuming" means (for instruction queues the
+        pop time is the cycle the instruction issues; for data queues it is the
+        cycle the last element has been drained) — this method only checks FIFO
+        order and records the release time.
+        """
+        entry = self.front()
+        if requested < entry.push_time:
+            raise SimulationError(
+                f"queue {self.name!r}: pop at {requested} precedes push at {entry.push_time}"
+            )
+        entry.pop_time = requested
+        self._next_pop_index += 1
+        return entry
+
+    # -- statistics ----------------------------------------------------------------------
+
+    @property
+    def total_entries(self) -> int:
+        return len(self.entries)
+
+    @property
+    def outstanding(self) -> int:
+        return len(self.entries) - self._next_pop_index
+
+    def occupancy_timeline(self, name: Optional[str] = None, horizon: int = 0) -> OccupancyTimeline:
+        """Residency records of every entry (unreleased entries last to ``horizon``)."""
+        timeline = OccupancyTimeline(name or self.name, capacity=self.capacity)
+        for entry in self.entries:
+            leave = entry.pop_time if entry.pop_time is not None else max(horizon, entry.push_time)
+            timeline.record(entry.push_time, leave)
+        return timeline
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TimedQueue(name={self.name!r}, capacity={self.capacity}, "
+            f"entries={len(self.entries)}, outstanding={self.outstanding})"
+        )

@@ -1,0 +1,113 @@
+"""Results produced by the decoupled architecture simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.common.intervals import IntervalRecorder, StateBreakdown, state_breakdown
+from repro.common.stats import Histogram
+from repro.common.timeline import OccupancyTimeline
+
+
+@dataclass
+class DecoupledResult:
+    """Everything one decoupled-architecture run measures.
+
+    In addition to the quantities the reference result exposes (total cycles,
+    functional-unit and memory-port busy intervals, traffic), the decoupled
+    result carries the queue occupancy timelines needed for Figure 6, the
+    bypass statistics of Section 7 and per-processor instruction counts.
+    """
+
+    program: str
+    latency: int
+    total_cycles: int
+    instructions: int
+    bypass_enabled: bool
+
+    fu1_busy: IntervalRecorder
+    fu2_busy: IntervalRecorder
+    port_busy: IntervalRecorder
+    qmov_busy: List[IntervalRecorder]
+    bypass_busy: IntervalRecorder
+
+    avdq_occupancy: OccupancyTimeline
+    vadq_occupancy: OccupancyTimeline
+    instruction_queue_occupancy: Dict[str, OccupancyTimeline]
+
+    instructions_per_processor: Dict[str, int] = field(default_factory=dict)
+    memory_traffic_bytes: int = 0
+    bypassed_loads: int = 0
+    bypassed_bytes: int = 0
+    disambiguation_stalls: int = 0
+    fetch_stall_cycles: int = 0
+    scalar_cache_hits: int = 0
+    scalar_cache_misses: int = 0
+
+    _breakdown: StateBreakdown | None = field(default=None, repr=False, compare=False)
+
+    # -- unit-state analysis (Figures 1/4 style) ---------------------------------------
+
+    def state_breakdown(self) -> StateBreakdown:
+        """Cycles in each (FU2, FU1, LD) combination — comparable to the REF breakdown."""
+        if self._breakdown is None:
+            self._breakdown = state_breakdown(
+                [self.fu2_busy, self.fu1_busy, self.port_busy], self.total_cycles
+            )
+        return self._breakdown
+
+    @property
+    def all_idle_cycles(self) -> int:
+        """Cycles with FU2, FU1 and the memory port all idle (paper's ``( , , )``)."""
+        return self.state_breakdown().cycles_all_idle()
+
+    @property
+    def port_idle_fraction(self) -> float:
+        if self.total_cycles == 0:
+            return 0.0
+        return 1.0 - self.port_busy.busy_time() / self.total_cycles
+
+    @property
+    def port_busy_fraction(self) -> float:
+        if self.total_cycles == 0:
+            return 0.0
+        return self.port_busy.busy_time() / self.total_cycles
+
+    # -- queue analysis (Figure 6) -------------------------------------------------------
+
+    def avdq_histogram(self) -> Histogram:
+        """Cycles at each AVDQ occupancy level over the whole run."""
+        return self.avdq_occupancy.occupancy_histogram(self.total_cycles)
+
+    def max_avdq_occupancy(self) -> int:
+        return self.avdq_occupancy.max_occupancy()
+
+    def mean_avdq_occupancy(self) -> float:
+        return self.avdq_occupancy.mean_occupancy(self.total_cycles)
+
+    # -- bypass analysis (Section 7 / Figure 8) -------------------------------------------
+
+    @property
+    def bypass_fraction_of_loads(self) -> float:
+        """Fraction of vector loads serviced by the bypass unit."""
+        loads = self.instructions_per_processor.get("vector_loads", 0)
+        if loads == 0:
+            return 0.0
+        return self.bypassed_loads / loads
+
+    def summary(self) -> Dict[str, object]:
+        """Headline numbers as a flat dictionary."""
+        return {
+            "program": self.program,
+            "latency": self.latency,
+            "total_cycles": self.total_cycles,
+            "instructions": self.instructions,
+            "bypass": self.bypass_enabled,
+            "all_idle_cycles": self.all_idle_cycles,
+            "port_idle_fraction": round(self.port_idle_fraction, 4),
+            "memory_traffic_bytes": self.memory_traffic_bytes,
+            "bypassed_loads": self.bypassed_loads,
+            "max_avdq_occupancy": self.max_avdq_occupancy(),
+            "fetch_stall_cycles": self.fetch_stall_cycles,
+        }

@@ -1,0 +1,436 @@
+"""Event-driven simulator of the decoupled vector architecture.
+
+The simulator performs a single pass over the dynamic trace in program order.
+For every traced instruction it advances, in this order, the fetch processor
+(which translates and distributes the instruction), the processor that
+executes the instruction itself, and the processor that executes the hidden
+QMOV companion the fetch processor generated for it.  Because every processor
+works through its stream in order and all queues are FIFO, the blocking
+behaviour of the bounded queues reduces to timestamp arithmetic handled by
+:class:`~repro.dva.queues.TimedQueue`, and a single pass reproduces the timing
+a cycle-stepped simulation would give.
+
+The decoupling (and its limits) emerge from the timestamps: the address
+processor is free to run ahead of the vector processor because nothing it does
+waits for vector computation — until it meets a full queue, a memory hazard
+against a queued store, or a scalar value that the slower side has not
+produced yet (the DYFESM lockstep case of paper §5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.common.errors import SimulationError
+from repro.dva.address import MemoryPipeline
+from repro.dva.config import DecoupledConfig
+from repro.dva.fetch import Processor, RoutingDecision, route
+from repro.dva.queues import TimedQueue
+from repro.dva.result import DecoupledResult
+from repro.dva.vector import VectorExecutionResources
+from repro.isa.opcodes import Opcode, OpcodeClass
+from repro.isa.registers import Register, RegisterClass
+from repro.memory.model import MemoryModel
+from repro.trace.record import DynamicInstruction, Trace
+
+
+@dataclass
+class _RegisterInfo:
+    """Who produced a register value and when it becomes usable."""
+
+    owner: Processor
+    ready: int = 0
+    chain_start: Optional[int] = None
+
+
+def _default_owner(register: Register) -> Processor:
+    if register.register_class is RegisterClass.ADDRESS:
+        return Processor.ADDRESS
+    if register.register_class is RegisterClass.SCALAR:
+        return Processor.SCALAR
+    if register.register_class is RegisterClass.VECTOR:
+        return Processor.VECTOR
+    return Processor.FETCH
+
+
+class DecoupledSimulator:
+    """Simulates one trace on the decoupled vector architecture."""
+
+    def __init__(
+        self,
+        memory: MemoryModel,
+        config: Optional[DecoupledConfig] = None,
+    ) -> None:
+        self.memory_model = memory
+        self.config = config if config is not None else DecoupledConfig()
+
+    def run(self, trace: Trace) -> DecoupledResult:
+        state = _DecoupledState(self.memory_model, self.config)
+        for record in trace.records:
+            state.step(record)
+        return state.finish(trace)
+
+
+def simulate_decoupled(
+    trace: Trace,
+    latency: int,
+    config: Optional[DecoupledConfig] = None,
+) -> DecoupledResult:
+    """Convenience wrapper: simulate ``trace`` on the DVA at a given latency."""
+    simulator = DecoupledSimulator(MemoryModel(latency=latency), config=config)
+    return simulator.run(trace)
+
+
+class _DecoupledState:
+    """Mutable state of one decoupled-architecture simulation."""
+
+    def __init__(self, memory: MemoryModel, config: DecoupledConfig) -> None:
+        self.config = config
+        self.memory = MemoryPipeline(memory, config)
+        self.resources = VectorExecutionResources(qmov_unit_count=config.qmov_units)
+
+        queue_size = config.queues.instruction_queue
+        self.apiq = TimedQueue("APIQ", queue_size)
+        self.vpiq = TimedQueue("VPIQ", queue_size)
+        self.spiq = TimedQueue("SPIQ", queue_size)
+
+        self.fp_free = 0
+        self.ap_free = 0
+        self.vp_free = 0
+        self.sp_free = 0
+
+        self.registers: Dict[Register, _RegisterInfo] = {}
+        self.horizon = 0
+        self.fetch_stall_cycles = 0
+        self.counts: Dict[str, int] = {
+            "FP": 0,
+            "AP": 0,
+            "VP": 0,
+            "SP": 0,
+            "vector_loads": 0,
+            "vector_stores": 0,
+        }
+
+    # -- register bookkeeping ----------------------------------------------------------
+
+    def _register_info(self, register: Register) -> _RegisterInfo:
+        info = self.registers.get(register)
+        if info is None:
+            info = _RegisterInfo(owner=_default_owner(register))
+            self.registers[register] = info
+        return info
+
+    def _operand_time(
+        self, register: Register, consumer: Processor, allow_chain: bool = False
+    ) -> int:
+        """Cycle at which ``consumer`` may use ``register``.
+
+        Values produced on another processor travel through the (large) scalar
+        data queues and arrive ``cross_processor_delay`` cycles after they were
+        produced; chaining is only possible inside the vector processor.
+        """
+        info = self._register_info(register)
+        if info.owner is consumer:
+            if allow_chain and info.chain_start is not None:
+                return info.chain_start
+            return info.ready
+        return info.ready + self.config.cross_processor_delay
+
+    def _set_register(
+        self,
+        register: Register,
+        owner: Processor,
+        ready: int,
+        chain_start: Optional[int] = None,
+    ) -> None:
+        self.registers[register] = _RegisterInfo(
+            owner=owner, ready=ready, chain_start=chain_start
+        )
+
+    def _bump(self, completion: int) -> None:
+        if completion > self.horizon:
+            self.horizon = completion
+
+    # -- main step ------------------------------------------------------------------------
+
+    def step(self, record: DynamicInstruction) -> None:
+        decision = route(record)
+        self.counts["FP"] += 1
+        if record.instruction.is_vector_memory:
+            key = "vector_loads" if record.is_load else "vector_stores"
+            self.counts[key] += 1
+
+        entries = self._fetch(record, decision)
+        self._execute_primary(record, decision, entries)
+        self._execute_queue_move(record, decision, entries)
+
+    # -- fetch processor ---------------------------------------------------------------------
+
+    def _instruction_queue(self, processor: Processor) -> TimedQueue:
+        if processor is Processor.ADDRESS:
+            return self.apiq
+        if processor is Processor.VECTOR:
+            return self.vpiq
+        if processor is Processor.SCALAR:
+            return self.spiq
+        raise SimulationError(f"processor {processor} has no instruction queue")
+
+    def _fetch(
+        self, record: DynamicInstruction, decision: RoutingDecision
+    ) -> Dict[Processor, int]:
+        """Translate and distribute one instruction; return the IQ entry indices."""
+        targets = decision.targets()
+        requested = self.fp_free
+        push_time = requested
+        for processor in targets:
+            push_time = max(push_time, self._instruction_queue(processor).earliest_push(requested))
+        self.fetch_stall_cycles += push_time - requested
+
+        entries: Dict[Processor, int] = {}
+        for processor in targets:
+            queue = self._instruction_queue(processor)
+            queue.push(push_time, ready=push_time + 1)
+            entries[processor] = queue.last_index
+        self.fp_free = push_time + 1
+        self._bump(self.fp_free)
+        return entries
+
+    # -- primary execution -----------------------------------------------------------------------
+
+    def _execute_primary(
+        self,
+        record: DynamicInstruction,
+        decision: RoutingDecision,
+        entries: Dict[Processor, int],
+    ) -> None:
+        if decision.primary is Processor.ADDRESS:
+            self._address_execute(record, entries[Processor.ADDRESS])
+        elif decision.primary is Processor.VECTOR:
+            self._vector_compute(record, entries[Processor.VECTOR])
+        elif decision.primary is Processor.SCALAR:
+            self._scalar_execute(record, entries[Processor.SCALAR])
+        # Processor.FETCH: consumed during translation, nothing further to do.
+
+    def _execute_queue_move(
+        self,
+        record: DynamicInstruction,
+        decision: RoutingDecision,
+        entries: Dict[Processor, int],
+    ) -> None:
+        queue_move = decision.queue_move
+        if queue_move is None:
+            return
+        if queue_move is Opcode.QMOV_V_LOAD:
+            self._vector_qmov_load(record, entries[Processor.VECTOR])
+        elif queue_move is Opcode.QMOV_V_STORE:
+            self._vector_qmov_store(record, entries[Processor.VECTOR])
+        elif queue_move is Opcode.QMOV_S_LOAD:
+            self._scalar_qmov_load(record, entries[Processor.SCALAR])
+        elif queue_move is Opcode.QMOV_S_STORE:
+            self._scalar_qmov_store(record, entries[Processor.SCALAR])
+
+    # -- address processor --------------------------------------------------------------------------
+
+    def _address_execute(self, record: DynamicInstruction, entry_index: int) -> None:
+        self.counts["AP"] += 1
+        instruction = record.instruction
+        ready = self.apiq.entries[entry_index].ready_time
+        start = max(self.ap_free, ready)
+        # The AP only waits for scalar operands (addresses, lengths); the data
+        # registers of vector accesses belong to the VP and travel through the
+        # queues instead.
+        for register in instruction.scalar_sources():
+            start = max(start, self._operand_time(register, Processor.ADDRESS))
+
+        if instruction.is_vector_memory and instruction.is_load:
+            start = max(start, self.memory.reserve_load_data_slot(start))
+            outcome = self.memory.issue_vector_load(record, start)
+            self.memory.avdq.push(start, ready=outcome.data_ready)
+            self._bump(outcome.data_ready)
+            finish = start + 1
+        elif instruction.is_vector_memory:
+            push_time = self.memory.enqueue_vector_store(record, start)
+            finish = max(start, push_time) + 1
+        elif instruction.is_scalar_memory and instruction.is_load:
+            data_ready = self.memory.issue_scalar_load(record, start)
+            self.memory.asdq.push(start, ready=data_ready)
+            self._bump(data_ready)
+            finish = start + 1
+        elif instruction.is_scalar_memory:
+            push_time = self.memory.enqueue_scalar_store(record, start)
+            finish = max(start, push_time) + 1
+        else:
+            # Address arithmetic and AP-resolved branches take one cycle.
+            finish = start + 1
+            for register in instruction.destinations:
+                self._set_register(register, Processor.ADDRESS, finish)
+
+        self.apiq.pop(start)
+        self.ap_free = finish
+        self._bump(finish)
+
+    # -- vector processor -----------------------------------------------------------------------------
+
+    def _vector_compute(self, record: DynamicInstruction, entry_index: int) -> None:
+        self.counts["VP"] += 1
+        instruction = record.instruction
+        ready = self.vpiq.entries[entry_index].ready_time
+        start = max(self.vp_free, ready)
+        for register in instruction.sources:
+            if register.register_class in (RegisterClass.VECTOR_LENGTH, RegisterClass.VECTOR_STRIDE):
+                continue
+            start = max(
+                start, self._operand_time(register, Processor.VECTOR, allow_chain=True)
+            )
+
+        length = max(record.vector_length, 1)
+        start, _unit = self.resources.acquire_functional_unit(
+            start, length, instruction.requires_fu2
+        )
+        self.vpiq.pop(start)
+        self.vp_free = start + 1
+
+        startup = self.config.functional_unit_startup
+        completion = start + startup + length
+        for register in instruction.destinations:
+            chain = start + startup if register.is_vector else None
+            self._set_register(register, Processor.VECTOR, completion, chain)
+        self._bump(completion)
+
+    def _vector_qmov_load(self, record: DynamicInstruction, entry_index: int) -> None:
+        self.counts["VP"] += 1
+        ready = self.vpiq.entries[entry_index].ready_time
+        start = max(self.vp_free, ready)
+        front = self.memory.avdq.front()
+        start = max(start, front.ready_time)
+
+        length = max(record.vector_length, 1)
+        start, _unit = self.resources.acquire_qmov_unit(start, length)
+        self.vpiq.pop(start)
+        self.vp_free = start + 1
+
+        end = start + length
+        self.memory.avdq.pop(end)
+        startup = self.config.queue_move_startup
+        completion = start + startup + length
+        destinations = record.instruction.vector_destinations()
+        if not destinations:
+            raise SimulationError(f"vector load without a vector destination: {record}")
+        self._set_register(
+            destinations[0], Processor.VECTOR, completion, chain_start=start + startup
+        )
+        self._bump(completion)
+
+    def _vector_qmov_store(self, record: DynamicInstruction, entry_index: int) -> None:
+        self.counts["VP"] += 1
+        ready = self.vpiq.entries[entry_index].ready_time
+        start = max(self.vp_free, ready)
+        sources = record.instruction.vector_sources()
+        if not sources:
+            raise SimulationError(f"vector store without a vector data register: {record}")
+        start = max(
+            start, self._operand_time(sources[0], Processor.VECTOR, allow_chain=True)
+        )
+        start = max(start, self.memory.reserve_vector_store_data_slot(start))
+
+        length = max(record.vector_length, 1)
+        start, _unit = self.resources.acquire_qmov_unit(start, length)
+        self.vpiq.pop(start)
+        self.vp_free = start + 1
+
+        data_ready = start + length
+        self.memory.attach_vector_store_data(record, push_time=start, data_ready=data_ready)
+        self._bump(data_ready)
+
+    # -- scalar processor ----------------------------------------------------------------------------------
+
+    def _scalar_execute(self, record: DynamicInstruction, entry_index: int) -> None:
+        self.counts["SP"] += 1
+        instruction = record.instruction
+        ready = self.spiq.entries[entry_index].ready_time
+        start = max(self.sp_free, ready)
+        for register in instruction.sources:
+            start = max(start, self._operand_time(register, Processor.SCALAR))
+
+        self.spiq.pop(start)
+        self.sp_free = start + 1
+        completion = start + 1
+        for register in instruction.destinations:
+            self._set_register(register, Processor.SCALAR, completion)
+        self._bump(completion)
+
+    def _scalar_qmov_load(self, record: DynamicInstruction, entry_index: int) -> None:
+        self.counts["SP"] += 1
+        ready = self.spiq.entries[entry_index].ready_time
+        front = self.memory.asdq.front()
+        start = max(self.sp_free, ready, front.ready_time)
+
+        self.spiq.pop(start)
+        self.sp_free = start + 1
+        self.memory.asdq.pop(start + 1)
+        completion = start + 1
+        destinations = record.instruction.scalar_destinations()
+        if destinations:
+            self._set_register(destinations[0], Processor.SCALAR, completion)
+        self._bump(completion)
+
+    def _scalar_qmov_store(self, record: DynamicInstruction, entry_index: int) -> None:
+        self.counts["SP"] += 1
+        ready = self.spiq.entries[entry_index].ready_time
+        start = max(self.sp_free, ready)
+        sources = record.instruction.scalar_sources()
+        if sources:
+            start = max(start, self._operand_time(sources[0], Processor.SCALAR))
+
+        self.spiq.pop(start)
+        self.sp_free = start + 1
+        self.memory.attach_scalar_store_data(record, push_time=start, data_ready=start + 1)
+        self._bump(start + 1)
+
+    # -- wind-down ------------------------------------------------------------------------------------------
+
+    def finish(self, trace: Trace) -> DecoupledResult:
+        drain_end = self.memory.drain_all()
+        total_cycles = max(
+            self.horizon,
+            self.fp_free,
+            self.ap_free,
+            self.vp_free,
+            self.sp_free,
+            self.memory.port_free,
+            self.memory.bypass_free,
+            drain_end,
+        )
+        if not trace.records:
+            total_cycles = 0
+
+        instruction_queue_occupancy = {
+            "APIQ": self.apiq.occupancy_timeline(horizon=total_cycles),
+            "VPIQ": self.vpiq.occupancy_timeline(horizon=total_cycles),
+            "SPIQ": self.spiq.occupancy_timeline(horizon=total_cycles),
+        }
+        counts = dict(self.counts)
+        return DecoupledResult(
+            program=trace.name,
+            latency=self.memory.memory.latency,
+            total_cycles=total_cycles,
+            instructions=len(trace.records),
+            bypass_enabled=self.config.enable_bypass,
+            fu1_busy=self.resources.fu1,
+            fu2_busy=self.resources.fu2,
+            port_busy=self.memory.port,
+            qmov_busy=list(self.resources.qmov_units),
+            bypass_busy=self.memory.bypass_unit,
+            avdq_occupancy=self.memory.avdq.occupancy_timeline("AVDQ", horizon=total_cycles),
+            vadq_occupancy=self.memory.vadq.occupancy_timeline("VADQ", horizon=total_cycles),
+            instruction_queue_occupancy=instruction_queue_occupancy,
+            instructions_per_processor=counts,
+            memory_traffic_bytes=self.memory.traffic_bytes,
+            bypassed_loads=self.memory.bypassed_loads,
+            bypassed_bytes=self.memory.bypassed_bytes,
+            disambiguation_stalls=self.memory.disambiguation_stalls,
+            fetch_stall_cycles=self.fetch_stall_cycles,
+            scalar_cache_hits=self.memory.cache.hits,
+            scalar_cache_misses=self.memory.cache.misses,
+        )

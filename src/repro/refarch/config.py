@@ -1,0 +1,37 @@
+"""Configuration of the reference vector architecture."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import ConfigurationError
+from repro.memory.scalar_cache import ScalarCacheConfig
+
+
+@dataclass(frozen=True)
+class ReferenceConfig:
+    """Architectural parameters of the reference (non-decoupled) machine.
+
+    Attributes:
+        functional_unit_startup: pipeline depth of the vector functional
+            units; the first element of a result becomes available (for
+            chaining) this many cycles after the instruction starts.
+        allow_load_chaining: when ``True`` consumers may chain off vector
+            loads.  The Convex C34 (and the Cray-2/3) do not support this —
+            the paper keeps it off — but the flag enables the ablation study
+            of that design choice.
+        scalar_cache: geometry of the scalar data cache.
+        scalar_store_writes_through: when ``True`` scalar stores always use
+            the memory port; when ``False`` (default) store hits are absorbed
+            by the cache, which is how the paper can count the scalar cache as
+            a resource separate from the memory port.
+    """
+
+    functional_unit_startup: int = 4
+    allow_load_chaining: bool = False
+    scalar_cache: ScalarCacheConfig = field(default_factory=ScalarCacheConfig)
+    scalar_store_writes_through: bool = False
+
+    def __post_init__(self) -> None:
+        if self.functional_unit_startup < 0:
+            raise ConfigurationError("functional unit startup cannot be negative")

@@ -1,0 +1,30 @@
+"""Dynamic instruction traces — the reproduction's substitute for Dixie.
+
+The paper instruments Convex executables with *Dixie* to produce four traces
+(basic blocks, vector-length register values, vector-stride register values
+and memory reference addresses) which together describe the full dynamic
+execution of a program.  Here the same information is carried by a single
+stream of :class:`~repro.trace.record.DynamicInstruction` records: each record
+pairs a static instruction with the vector length, stride and base address in
+effect when it executed.
+
+Both simulators (:mod:`repro.refarch` and :mod:`repro.dva`) consume traces,
+never static programs, exactly as in the paper.
+"""
+
+from repro.trace.record import DynamicInstruction, Trace
+from repro.trace.generator import RegionAllocator, TraceBuilder
+from repro.trace.reader import read_trace
+from repro.trace.statistics import TraceStatistics, compute_statistics
+from repro.trace.writer import write_trace
+
+__all__ = [
+    "DynamicInstruction",
+    "RegionAllocator",
+    "Trace",
+    "TraceBuilder",
+    "TraceStatistics",
+    "compute_statistics",
+    "read_trace",
+    "write_trace",
+]

@@ -1,0 +1,182 @@
+"""Trace generation from static programs.
+
+The :class:`TraceBuilder` plays the role of running a Dixie-instrumented
+executable: it walks basic blocks in dynamic order, keeps track of the vector
+length and vector stride registers, lays program data regions out in a flat
+address space, and emits one :class:`~repro.trace.record.DynamicInstruction`
+per executed instruction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.common.errors import TraceError
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+from repro.isa.program import BasicBlock
+from repro.isa.registers import ELEMENT_SIZE_BYTES, VECTOR_REGISTER_LENGTH
+from repro.trace.record import DynamicInstruction, Trace
+
+#: Base of the data segment used by the region allocator.
+_DATA_SEGMENT_BASE = 0x1000_0000
+
+#: Base of the (scalar + vector spill) stack segment.
+_STACK_SEGMENT_BASE = 0x7000_0000
+
+#: Alignment (bytes) between allocated regions, to keep ranges visually distinct.
+_REGION_ALIGNMENT = 0x1000
+
+
+class RegionAllocator:
+    """Lays out named data regions in a flat byte-addressed space.
+
+    Regions whose name starts with ``spill`` or ``stack`` are placed in a
+    separate stack segment, mirroring how compiler spill slots live on the
+    stack while array data lives in the static data segment.
+    """
+
+    def __init__(self) -> None:
+        self._addresses: Dict[str, int] = {}
+        self._next_data = _DATA_SEGMENT_BASE
+        self._next_stack = _STACK_SEGMENT_BASE
+
+    def base_of(self, region: str, size_bytes: int = 0x10000) -> int:
+        """Return (allocating on first use) the base address of ``region``."""
+        if region in self._addresses:
+            return self._addresses[region]
+        is_stack = region.startswith("spill") or region.startswith("stack")
+        aligned = _align(size_bytes, _REGION_ALIGNMENT)
+        if is_stack:
+            base = self._next_stack
+            self._next_stack += aligned
+        else:
+            base = self._next_data
+            self._next_data += aligned
+        self._addresses[region] = base
+        return base
+
+    def address_of(self, region: str, element_offset: int = 0) -> int:
+        """Byte address of element ``element_offset`` within ``region``."""
+        return self.base_of(region) + element_offset * ELEMENT_SIZE_BYTES
+
+    @property
+    def regions(self) -> Dict[str, int]:
+        """A copy of the region → base-address map."""
+        return dict(self._addresses)
+
+
+def _align(value: int, alignment: int) -> int:
+    return ((value + alignment - 1) // alignment) * alignment
+
+
+class TraceBuilder:
+    """Builds a dynamic trace by replaying basic blocks.
+
+    The builder tracks the architectural vector length and vector stride
+    registers (set by ``SET_VL`` / ``SET_VS`` instructions) and assigns a
+    concrete byte address to every memory reference.  Callers control where a
+    block's memory references land through ``region_offsets`` — a map from
+    region name to an element offset — which is how loop iterations advance
+    through their arrays.
+    """
+
+    def __init__(self, name: str, allocator: Optional[RegionAllocator] = None) -> None:
+        self.trace = Trace(name=name)
+        self.allocator = allocator if allocator is not None else RegionAllocator()
+        self._vector_length = VECTOR_REGISTER_LENGTH
+        self._vector_stride = 1
+        self._sequence = 0
+
+    # -- architectural state ---------------------------------------------------
+
+    @property
+    def vector_length(self) -> int:
+        return self._vector_length
+
+    @property
+    def vector_stride(self) -> int:
+        return self._vector_stride
+
+    # -- emission ---------------------------------------------------------------
+
+    def append_block(
+        self,
+        block: BasicBlock,
+        region_offsets: Optional[Dict[str, int]] = None,
+    ) -> None:
+        """Replay one basic block, emitting a dynamic record per instruction."""
+        offsets = region_offsets or {}
+        self.trace.blocks_executed += 1
+        for instruction in block.instructions:
+            self._append_instruction(instruction, block.label, offsets)
+
+    def append_instruction(
+        self,
+        instruction: Instruction,
+        block_label: str = "",
+        region_offsets: Optional[Dict[str, int]] = None,
+    ) -> DynamicInstruction:
+        """Emit a single dynamic record outside of block replay."""
+        return self._append_instruction(instruction, block_label, region_offsets or {})
+
+    def _append_instruction(
+        self,
+        instruction: Instruction,
+        block_label: str,
+        offsets: Dict[str, int],
+    ) -> DynamicInstruction:
+        self._update_control_registers(instruction)
+        record = DynamicInstruction(
+            instruction=instruction,
+            sequence=self._sequence,
+            block_label=block_label,
+            vector_length=self._effective_length(instruction),
+            stride_elements=self._effective_stride(instruction),
+            base_address=self._effective_address(instruction, offsets),
+        )
+        self._sequence += 1
+        self.trace.append(record)
+        return record
+
+    def _update_control_registers(self, instruction: Instruction) -> None:
+        if instruction.opcode is Opcode.SET_VL:
+            if instruction.immediate is None:
+                raise TraceError("SET_VL traced without an immediate vector length")
+            if not 0 <= instruction.immediate <= VECTOR_REGISTER_LENGTH:
+                raise TraceError(
+                    f"SET_VL immediate {instruction.immediate} outside "
+                    f"[0, {VECTOR_REGISTER_LENGTH}]"
+                )
+            self._vector_length = instruction.immediate
+        elif instruction.opcode is Opcode.SET_VS:
+            if instruction.immediate is None:
+                raise TraceError("SET_VS traced without an immediate stride")
+            self._vector_stride = instruction.immediate
+
+    def _effective_length(self, instruction: Instruction) -> int:
+        if instruction.is_vector:
+            return self._vector_length
+        return 1
+
+    def _effective_stride(self, instruction: Instruction) -> int:
+        if instruction.memory is not None and instruction.is_vector_memory:
+            return instruction.memory.stride
+        return 1
+
+    def _effective_address(
+        self, instruction: Instruction, offsets: Dict[str, int]
+    ) -> Optional[int]:
+        if instruction.memory is None:
+            return None
+        region = instruction.memory.region
+        offset = offsets.get(region, 0)
+        return self.allocator.address_of(region, offset)
+
+    # -- results -----------------------------------------------------------------
+
+    def build(self) -> Trace:
+        """Finalize and return the accumulated trace."""
+        self.trace.metadata.setdefault("regions", self.allocator.regions)
+        self.trace.validate()
+        return self.trace

@@ -1,0 +1,98 @@
+"""Deserialization of dynamic traces written by :mod:`repro.trace.writer`."""
+
+from __future__ import annotations
+
+import gzip
+import json
+from pathlib import Path
+from typing import IO, Union
+
+from repro.common.errors import TraceError
+from repro.isa.instruction import Instruction, MemoryOperand
+from repro.isa.opcodes import Opcode
+from repro.isa.registers import Register, RegisterClass
+from repro.trace.record import DynamicInstruction, Trace
+from repro.trace.writer import TRACE_FORMAT_VERSION
+
+
+def _register_from_json(payload: list) -> Register:
+    register_class, index = payload
+    return Register(RegisterClass(register_class), int(index))
+
+
+def _instruction_from_json(payload: dict) -> Instruction:
+    memory = None
+    if "m" in payload:
+        memory_payload = payload["m"]
+        memory = MemoryOperand(
+            region=memory_payload["region"],
+            stride=int(memory_payload["stride"]),
+            is_spill=bool(memory_payload.get("spill", False)),
+            indexed=bool(memory_payload.get("indexed", False)),
+        )
+    return Instruction(
+        opcode=Opcode(payload["op"]),
+        destinations=tuple(_register_from_json(r) for r in payload.get("d", [])),
+        sources=tuple(_register_from_json(r) for r in payload.get("s", [])),
+        memory=memory,
+        immediate=payload.get("i"),
+        label=payload.get("l", ""),
+    )
+
+
+def record_from_json(payload: dict) -> DynamicInstruction:
+    """Deserialize one dynamic record from its JSON dictionary."""
+    return DynamicInstruction(
+        instruction=_instruction_from_json(payload["insn"]),
+        sequence=int(payload["seq"]),
+        block_label=payload.get("bb", ""),
+        vector_length=int(payload.get("vl", 1)),
+        stride_elements=int(payload.get("vs", 1)),
+        base_address=payload.get("addr"),
+    )
+
+
+def _open_for_read(path: Path) -> IO[str]:
+    if path.suffix == ".gz":
+        return gzip.open(path, "rt", encoding="utf-8")
+    return open(path, "r", encoding="utf-8")
+
+
+def read_trace(path: Union[str, Path]) -> Trace:
+    """Read a trace previously written with :func:`~repro.trace.writer.write_trace`."""
+    source = Path(path)
+    if not source.exists():
+        raise TraceError(f"trace file not found: {source}")
+    with _open_for_read(source) as stream:
+        header_line = stream.readline()
+        if not header_line:
+            raise TraceError(f"trace file is empty: {source}")
+        header = json.loads(header_line)
+        version = header.get("format_version")
+        if version != TRACE_FORMAT_VERSION:
+            raise TraceError(
+                f"unsupported trace format version {version!r} in {source} "
+                f"(expected {TRACE_FORMAT_VERSION})"
+            )
+        trace = Trace(
+            name=header.get("name", source.stem),
+            blocks_executed=int(header.get("blocks_executed", 0)),
+            metadata=dict(header.get("metadata", {})),
+        )
+        for line_number, line in enumerate(stream, start=2):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                trace.append(record_from_json(json.loads(line)))
+            except (KeyError, ValueError) as exc:
+                raise TraceError(
+                    f"malformed trace record at {source}:{line_number}: {exc}"
+                ) from exc
+    expected = header.get("records")
+    if expected is not None and expected != len(trace.records):
+        raise TraceError(
+            f"trace {source} declares {expected} records but contains {len(trace.records)}"
+        )
+    trace.validate()
+    return trace

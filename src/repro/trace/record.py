@@ -1,0 +1,176 @@
+"""Dynamic trace records.
+
+A :class:`DynamicInstruction` is one executed instance of a static
+:class:`~repro.isa.instruction.Instruction`, annotated with everything the
+simulators need to reproduce its timing: the vector length and stride in
+effect, and the base address of memory references.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from repro.common.errors import TraceError
+from repro.isa.instruction import Instruction
+from repro.isa.registers import ELEMENT_SIZE_BYTES
+
+
+@dataclass(frozen=True)
+class DynamicInstruction:
+    """One executed instruction instance.
+
+    Attributes:
+        instruction: the static instruction that was executed.
+        sequence: position of this record in the dynamic instruction stream.
+        block_label: label of the basic block the instruction belongs to.
+        vector_length: number of elements processed (1 for scalar work).
+        stride_elements: vector stride, in elements, for vector memory accesses.
+        base_address: byte address of the first element for memory accesses.
+    """
+
+    instruction: Instruction
+    sequence: int
+    block_label: str = ""
+    vector_length: int = 1
+    stride_elements: int = 1
+    base_address: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.vector_length < 0:
+            raise TraceError("vector length cannot be negative")
+        if self.instruction.is_memory and self.base_address is None:
+            raise TraceError(
+                f"memory instruction {self.instruction} traced without a base address"
+            )
+
+    # -- delegated classification -------------------------------------------
+
+    @property
+    def opcode(self):
+        return self.instruction.opcode
+
+    @property
+    def is_vector(self) -> bool:
+        return self.instruction.is_vector
+
+    @property
+    def is_memory(self) -> bool:
+        return self.instruction.is_memory
+
+    @property
+    def is_load(self) -> bool:
+        return self.instruction.is_load
+
+    @property
+    def is_store(self) -> bool:
+        return self.instruction.is_store
+
+    @property
+    def is_vector_memory(self) -> bool:
+        return self.instruction.is_vector_memory
+
+    @property
+    def is_scalar_memory(self) -> bool:
+        return self.instruction.is_scalar_memory
+
+    @property
+    def is_branch(self) -> bool:
+        return self.instruction.is_branch
+
+    @property
+    def is_spill_access(self) -> bool:
+        return self.instruction.is_spill_access
+
+    @property
+    def is_indexed_memory(self) -> bool:
+        return self.instruction.memory is not None and self.instruction.memory.indexed
+
+    # -- derived quantities ----------------------------------------------------
+
+    @property
+    def operations(self) -> int:
+        """Number of element operations performed by this instruction.
+
+        Vector instructions perform ``vector_length`` operations; everything
+        else performs one (paper Table 1 distinguishes vector *instructions*
+        from vector *operations* on exactly this basis).
+        """
+        return self.vector_length if self.is_vector else 1
+
+    @property
+    def effective_length(self) -> int:
+        """Vector length for vector instructions, 1 for scalar instructions."""
+        return self.vector_length if self.is_vector else 1
+
+    @property
+    def stride_bytes(self) -> int:
+        return self.stride_elements * ELEMENT_SIZE_BYTES
+
+    @property
+    def bytes_accessed(self) -> int:
+        """Total number of bytes moved to or from memory by this record."""
+        if not self.is_memory:
+            return 0
+        return self.effective_length * ELEMENT_SIZE_BYTES
+
+    def __str__(self) -> str:
+        extra = []
+        if self.is_vector:
+            extra.append(f"vl={self.vector_length}")
+        if self.is_memory:
+            extra.append(f"addr=0x{self.base_address:x}")
+            extra.append(f"stride={self.stride_elements}")
+        suffix = f"  ({', '.join(extra)})" if extra else ""
+        return f"[{self.sequence}] {self.instruction}{suffix}"
+
+
+@dataclass
+class Trace:
+    """A full dynamic execution trace of one program."""
+
+    name: str
+    records: List[DynamicInstruction] = field(default_factory=list)
+    blocks_executed: int = 0
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def append(self, record: DynamicInstruction) -> None:
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[DynamicInstruction]:
+        return iter(self.records)
+
+    def __getitem__(self, index: int) -> DynamicInstruction:
+        return self.records[index]
+
+    @property
+    def vector_instruction_count(self) -> int:
+        return sum(1 for record in self.records if record.is_vector)
+
+    @property
+    def scalar_instruction_count(self) -> int:
+        return sum(1 for record in self.records if not record.is_vector)
+
+    @property
+    def vector_operation_count(self) -> int:
+        return sum(record.operations for record in self.records if record.is_vector)
+
+    @property
+    def memory_instruction_count(self) -> int:
+        return sum(1 for record in self.records if record.is_memory)
+
+    def validate(self) -> None:
+        """Check internal consistency of the trace.
+
+        Raises :class:`~repro.common.errors.TraceError` when sequence numbers
+        are not strictly increasing from zero.
+        """
+        for expected, record in enumerate(self.records):
+            if record.sequence != expected:
+                raise TraceError(
+                    f"trace {self.name!r}: record {expected} carries sequence "
+                    f"number {record.sequence}"
+                )

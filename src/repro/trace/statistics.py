@@ -1,0 +1,103 @@
+"""Trace statistics in the style of Table 1 of the paper.
+
+Table 1 reports, per Perfect Club program: the number of basic blocks
+executed, the number of scalar and vector instructions issued, the number of
+vector operations performed, the percentage of vectorization and the average
+vector length.  :func:`compute_statistics` derives the same quantities (plus a
+few the rest of the paper relies on, such as the spill-access fraction used in
+Section 7) from a :class:`~repro.trace.record.Trace`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.stats import Histogram
+from repro.trace.record import Trace
+
+
+@dataclass
+class TraceStatistics:
+    """Aggregate statistics of one dynamic trace."""
+
+    name: str
+    basic_blocks: int = 0
+    scalar_instructions: int = 0
+    vector_instructions: int = 0
+    vector_operations: int = 0
+    scalar_memory_instructions: int = 0
+    vector_memory_instructions: int = 0
+    vector_memory_operations: int = 0
+    spill_memory_instructions: int = 0
+    memory_bytes: int = 0
+    vector_length_histogram: Histogram = field(default_factory=Histogram)
+
+    @property
+    def total_instructions(self) -> int:
+        return self.scalar_instructions + self.vector_instructions
+
+    @property
+    def total_operations(self) -> int:
+        """Scalar instructions each count as one operation (paper Table 1)."""
+        return self.scalar_instructions + self.vector_operations
+
+    @property
+    def vectorization_percent(self) -> float:
+        """Percentage of all operations performed by vector instructions."""
+        total = self.total_operations
+        if total == 0:
+            return 0.0
+        return 100.0 * self.vector_operations / total
+
+    @property
+    def average_vector_length(self) -> float:
+        """Vector operations divided by vector instructions (Table 1, col. 6)."""
+        if self.vector_instructions == 0:
+            return 0.0
+        return self.vector_operations / self.vector_instructions
+
+    @property
+    def memory_instructions(self) -> int:
+        return self.scalar_memory_instructions + self.vector_memory_instructions
+
+    @property
+    def spill_fraction(self) -> float:
+        """Fraction of memory instructions that are compiler spill accesses."""
+        total = self.memory_instructions
+        if total == 0:
+            return 0.0
+        return self.spill_memory_instructions / total
+
+    def as_table_row(self) -> dict[str, float]:
+        """The row of Table 1 for this program, as a plain dictionary."""
+        return {
+            "program": self.name,
+            "basic_blocks": self.basic_blocks,
+            "scalar_instructions": self.scalar_instructions,
+            "vector_instructions": self.vector_instructions,
+            "vector_operations": self.vector_operations,
+            "vectorization_percent": round(self.vectorization_percent, 1),
+            "average_vector_length": round(self.average_vector_length, 1),
+        }
+
+
+def compute_statistics(trace: Trace) -> TraceStatistics:
+    """Compute :class:`TraceStatistics` for a trace."""
+    stats = TraceStatistics(name=trace.name, basic_blocks=trace.blocks_executed)
+    for record in trace.records:
+        if record.is_vector:
+            stats.vector_instructions += 1
+            stats.vector_operations += record.operations
+            stats.vector_length_histogram.add(record.vector_length)
+        else:
+            stats.scalar_instructions += 1
+        if record.is_memory:
+            stats.memory_bytes += record.bytes_accessed
+            if record.is_vector_memory:
+                stats.vector_memory_instructions += 1
+                stats.vector_memory_operations += record.operations
+            else:
+                stats.scalar_memory_instructions += 1
+            if record.is_spill_access:
+                stats.spill_memory_instructions += 1
+    return stats

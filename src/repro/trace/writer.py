@@ -1,0 +1,97 @@
+"""Serialization of dynamic traces to JSON-lines files.
+
+Traces are written as one JSON object per line, with a single header line
+carrying trace-level metadata.  Gzip compression is applied automatically when
+the target path ends in ``.gz``.  The format is deliberately self-contained so
+traces can be archived and replayed later without the workload models that
+produced them, just as the paper archives Dixie traces separately from the
+Perfect Club sources.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+from pathlib import Path
+from typing import IO, Union
+
+from repro.isa.instruction import Instruction
+from repro.isa.registers import Register, RegisterClass
+from repro.trace.record import DynamicInstruction, Trace
+
+#: Version tag written into every trace header.
+TRACE_FORMAT_VERSION = 1
+
+
+def _register_to_json(register: Register) -> list:
+    return [register.register_class.value, register.index]
+
+
+def _instruction_to_json(instruction: Instruction) -> dict:
+    payload: dict = {
+        "op": instruction.opcode.value,
+        "d": [_register_to_json(r) for r in instruction.destinations],
+        "s": [_register_to_json(r) for r in instruction.sources],
+    }
+    if instruction.memory is not None:
+        payload["m"] = {
+            "region": instruction.memory.region,
+            "stride": instruction.memory.stride,
+            "spill": instruction.memory.is_spill,
+            "indexed": instruction.memory.indexed,
+        }
+    if instruction.immediate is not None:
+        payload["i"] = instruction.immediate
+    if instruction.label:
+        payload["l"] = instruction.label
+    return payload
+
+
+def record_to_json(record: DynamicInstruction) -> dict:
+    """Serialize one dynamic record to a JSON-compatible dictionary."""
+    payload = {
+        "seq": record.sequence,
+        "bb": record.block_label,
+        "vl": record.vector_length,
+        "vs": record.stride_elements,
+        "insn": _instruction_to_json(record.instruction),
+    }
+    if record.base_address is not None:
+        payload["addr"] = record.base_address
+    return payload
+
+
+def _open_for_write(path: Path) -> IO[str]:
+    if path.suffix == ".gz":
+        return gzip.open(path, "wt", encoding="utf-8")
+    return open(path, "w", encoding="utf-8")
+
+
+def write_trace(trace: Trace, path: Union[str, Path]) -> Path:
+    """Write ``trace`` to ``path`` in JSON-lines format and return the path."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    header = {
+        "format_version": TRACE_FORMAT_VERSION,
+        "name": trace.name,
+        "blocks_executed": trace.blocks_executed,
+        "records": len(trace.records),
+        "metadata": _jsonable_metadata(trace.metadata),
+    }
+    with _open_for_write(target) as stream:
+        stream.write(json.dumps(header) + "\n")
+        for record in trace.records:
+            stream.write(json.dumps(record_to_json(record)) + "\n")
+    return target
+
+
+def _jsonable_metadata(metadata: dict) -> dict:
+    """Keep only JSON-serializable metadata entries."""
+    cleaned = {}
+    for key, value in metadata.items():
+        try:
+            json.dumps(value)
+        except TypeError:
+            continue
+        cleaned[key] = value
+    return cleaned

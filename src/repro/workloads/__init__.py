@@ -1,0 +1,43 @@
+"""Synthetic workload models — the reproduction's substitute for the Perfect Club.
+
+The paper drives its simulators with Dixie traces of six Perfect Club programs
+compiled by the Convex Fortran compiler.  Neither the traces nor the compiler
+are available, so this package rebuilds the workload layer from the published
+per-program statistics:
+
+* a loop-kernel description language (:mod:`repro.workloads.kernel`),
+* a small vectorizing compiler that lowers kernels to the Convex-style ISA,
+  strip-mining to the 128-element vector registers and inserting the scalar
+  overhead, spill traffic and loop control real compiled code carries
+  (:mod:`repro.workloads.compiler`),
+* six program models tuned to the paper's Table 1 (vectorization percentage,
+  average vector length), Section 3 (memory-port idle fractions), Section 7
+  (spill-code fractions) and the DYFESM loop structure described in Section 5
+  (:mod:`repro.workloads.programs`),
+* a set of parametric synthetic kernels (daxpy, stream triad, stencils,
+  reductions, spill-heavy loops) useful for unit tests, examples and
+  ablations (:mod:`repro.workloads.synthetic`).
+"""
+
+from repro.workloads.kernel import KernelSchedule, LoopKernel, VectorStream
+from repro.workloads.compiler import VectorizingCompiler
+from repro.workloads.program_model import ProgramModel, ProgramTargets
+from repro.workloads.perfect_club import (
+    PERFECT_CLUB_PROGRAMS,
+    load_program,
+    program_names,
+)
+from repro.workloads import synthetic
+
+__all__ = [
+    "KernelSchedule",
+    "LoopKernel",
+    "PERFECT_CLUB_PROGRAMS",
+    "ProgramModel",
+    "ProgramTargets",
+    "VectorStream",
+    "VectorizingCompiler",
+    "load_program",
+    "program_names",
+    "synthetic",
+]

@@ -1,0 +1,130 @@
+"""Whole-program workload models.
+
+A :class:`ProgramModel` combines several loop kernels (with invocation counts)
+into a stand-in for one Perfect Club program.  The model also records the
+*targets* — the numbers the paper publishes for the real program — so that
+tests, EXPERIMENTS.md and the calibration example can compare what the
+synthetic model achieves against what the paper reports.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence
+
+from repro.common.errors import WorkloadError
+from repro.isa.builder import InstructionBuilder
+from repro.isa.opcodes import Opcode
+from repro.isa.registers import a_reg, s_reg
+from repro.trace.generator import TraceBuilder
+from repro.trace.record import Trace
+from repro.workloads.compiler import VectorizingCompiler
+from repro.workloads.kernel import KernelSchedule
+
+
+@dataclass(frozen=True)
+class ProgramTargets:
+    """Published per-program numbers this model tries to approximate.
+
+    All fields are optional because the paper does not publish every number
+    for every program; ``None`` simply means "no target".
+    """
+
+    vectorization_percent: Optional[float] = None
+    average_vector_length: Optional[float] = None
+    spill_fraction: Optional[float] = None
+    ref_port_idle_fraction: Optional[float] = None
+    dva_speedup_at_latency_100: Optional[float] = None
+    bypass_speedup_at_latency_1: Optional[float] = None
+    traffic_reduction: Optional[float] = None
+
+    def as_dict(self) -> Dict[str, Optional[float]]:
+        return {
+            "vectorization_percent": self.vectorization_percent,
+            "average_vector_length": self.average_vector_length,
+            "spill_fraction": self.spill_fraction,
+            "ref_port_idle_fraction": self.ref_port_idle_fraction,
+            "dva_speedup_at_latency_100": self.dva_speedup_at_latency_100,
+            "bypass_speedup_at_latency_1": self.bypass_speedup_at_latency_1,
+            "traffic_reduction": self.traffic_reduction,
+        }
+
+
+@dataclass
+class ProgramModel:
+    """A synthetic stand-in for one benchmark program."""
+
+    name: str
+    schedules: Sequence[KernelSchedule]
+    description: str = ""
+    targets: ProgramTargets = field(default_factory=ProgramTargets)
+    prologue_scalar_instructions: int = 32
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise WorkloadError("program model requires a name")
+        if not self.schedules:
+            raise WorkloadError(f"program model {self.name!r} has no kernels")
+        if self.prologue_scalar_instructions < 0:
+            raise WorkloadError("prologue length cannot be negative")
+
+    # -- trace generation ---------------------------------------------------------
+
+    def build_trace(self, scale: float = 1.0) -> Trace:
+        """Generate the dynamic trace of one run of the program.
+
+        ``scale`` multiplies every kernel's invocation count, allowing quick
+        benchmark runs (``scale < 1``) or long, paper-sized runs
+        (``scale > 1``).  At least one invocation of every kernel is always
+        emitted so small scales never drop a program phase entirely.
+        """
+        if scale <= 0:
+            raise WorkloadError("trace scale must be positive")
+
+        compiler = VectorizingCompiler(program_name=self.name)
+        compiled = [compiler.compile(schedule.kernel) for schedule in self.schedules]
+
+        builder = TraceBuilder(self.name)
+        self._emit_prologue(compiler, builder)
+        for schedule, compiled_kernel in zip(self.schedules, compiled):
+            invocations = max(1, math.ceil(schedule.total_invocations * scale))
+            compiled_kernel.emit_program(builder, invocations=invocations)
+        trace = builder.build()
+        trace.metadata["program"] = self.name
+        trace.metadata["scale"] = scale
+        trace.metadata["targets"] = {
+            key: value for key, value in self.targets.as_dict().items() if value is not None
+        }
+        return trace
+
+    def _emit_prologue(self, compiler: VectorizingCompiler, builder: TraceBuilder) -> None:
+        """Emit the scalar start-up code every real program executes once."""
+        if self.prologue_scalar_instructions == 0:
+            return
+        block = compiler.program.new_block(f"{self.name}.prologue")
+        emit = InstructionBuilder(block, label_prefix="prologue")
+        for index in range(self.prologue_scalar_instructions):
+            if index % 8 == 7:
+                emit.scalar_load(s_reg(index % 4), f"{self.name}.globals")
+            elif index % 8 == 3:
+                emit.scalar_op(Opcode.S_LI, a_reg(index % 6), immediate=index)
+            else:
+                emit.scalar_op(Opcode.S_ADD, s_reg(index % 6), [s_reg((index + 1) % 6)])
+        builder.append_block(block)
+
+    # -- descriptive helpers ------------------------------------------------------
+
+    @property
+    def kernels(self):
+        return [schedule.kernel for schedule in self.schedules]
+
+    def kernel_named(self, name: str):
+        for kernel in self.kernels:
+            if kernel.name == name:
+                return kernel
+        raise WorkloadError(f"program {self.name!r} has no kernel named {name!r}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kernel_names = ", ".join(kernel.name for kernel in self.kernels)
+        return f"ProgramModel(name={self.name!r}, kernels=[{kernel_names}])"

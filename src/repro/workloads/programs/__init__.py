@@ -1,0 +1,13 @@
+"""Synthetic models of the six Perfect Club programs the paper evaluates.
+
+Each module exposes a single ``build()`` function returning a
+:class:`~repro.workloads.program_model.ProgramModel` whose aggregate behaviour
+(vectorization percentage, average vector length, spill traffic, memory- vs
+compute-boundness, loop-carried dependences) approximates what the paper
+reports for the real program.  See DESIGN.md for the substitution rationale
+and EXPERIMENTS.md for the achieved-versus-published comparison.
+"""
+
+from repro.workloads.programs import arc2d, bdna, dyfesm, flo52, spec77, trfd
+
+__all__ = ["arc2d", "bdna", "dyfesm", "flo52", "spec77", "trfd"]

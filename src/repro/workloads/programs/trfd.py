@@ -1,0 +1,70 @@
+"""Synthetic model of TRFD (two-electron integral transformation, quantum chemistry).
+
+TRFD has the shortest vectors of the suite (average vector length 22) and the
+lowest vectorization (75.7 %, Table 1): every strip of vector work is
+surrounded by a thick layer of scalar index arithmetic.  That combination
+makes it very latency sensitive on the reference machine (30 % idle-port
+cycles in Figure 1, one of the steepest REF curves in Figure 3) and gives it a
+large bypass benefit (17.36 % at latency 1) and one of the biggest
+memory-traffic reductions (>30 %, Figure 8), because a good share of its
+vector memory traffic is spill of intermediate integral blocks.
+
+The model pairs a short-vector transformation kernel that spills two vector
+temporaries per iteration with a scalar-heavy index-generation kernel.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.kernel import KernelSchedule, LoopKernel, VectorStream
+from repro.workloads.program_model import ProgramModel, ProgramTargets
+
+#: Vector length of the TRFD kernels (Table 1 reports an average of 22).
+VECTOR_LENGTH = 22
+
+
+def build() -> ProgramModel:
+    """Build the TRFD program model."""
+    transform = LoopKernel(
+        name="trfd_transform",
+        elements=VECTOR_LENGTH * 4,
+        max_vector_length=VECTOR_LENGTH,
+        loads=(VectorStream("integrals"), VectorStream("coefficients")),
+        stores=(VectorStream("transformed"),),
+        fu_any_ops=2,
+        fu2_ops=1,
+        vector_spill_pairs=1,
+        scalar_spill_pairs=2,
+        address_ops=6,
+        scalar_ops=30,
+        scalar_loads=2,
+    )
+    indexing = LoopKernel(
+        name="trfd_indexing",
+        elements=VECTOR_LENGTH,
+        max_vector_length=VECTOR_LENGTH,
+        loads=(VectorStream("labels"),),
+        fu_any_ops=1,
+        address_ops=10,
+        scalar_ops=110,
+        scalar_spill_pairs=3,
+        scalar_loads=2,
+        scalar_stores=2,
+    )
+    return ProgramModel(
+        name="TRFD",
+        description=(
+            "Two-electron integral transformation: short vectors wrapped in "
+            "heavy scalar index arithmetic, with spilled integral blocks."
+        ),
+        schedules=(
+            KernelSchedule(transform, repetitions=24),
+            KernelSchedule(indexing, repetitions=24),
+        ),
+        targets=ProgramTargets(
+            vectorization_percent=75.7,
+            average_vector_length=22.0,
+            ref_port_idle_fraction=0.302,
+            bypass_speedup_at_latency_1=0.1736,
+            traffic_reduction=0.30,
+        ),
+    )

@@ -1,0 +1,104 @@
+"""Tests for queue-occupancy timelines."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.errors import SimulationError
+from repro.common.timeline import OccupancyTimeline, Residency, occupancy_histogram
+
+
+class TestResidency:
+    def test_rejects_negative_duration(self):
+        with pytest.raises(SimulationError):
+            Residency(enter=10, leave=5)
+
+    def test_zero_duration_allowed(self):
+        residency = Residency(enter=4, leave=4)
+        assert residency.enter == residency.leave
+
+
+class TestOccupancyHistogram:
+    def test_empty_counts_all_cycles_at_zero(self):
+        histogram = occupancy_histogram([], total_cycles=50)
+        assert histogram.count(0) == 50
+        assert histogram.total() == 50
+
+    def test_single_element(self):
+        histogram = occupancy_histogram([Residency(10, 20)], total_cycles=30)
+        assert histogram.count(0) == 20
+        assert histogram.count(1) == 10
+        assert histogram.total() == 30
+
+    def test_overlapping_elements(self):
+        residencies = [Residency(0, 10), Residency(5, 15), Residency(5, 8)]
+        histogram = occupancy_histogram(residencies, total_cycles=20)
+        assert histogram.count(3) == 3   # [5, 8)
+        assert histogram.count(2) == 2   # [8, 10)
+        assert histogram.count(1) == 10  # [0, 5) and [10, 15)
+        assert histogram.count(0) == 5   # [15, 20)
+        assert histogram.total() == 20
+
+    def test_truncation_at_horizon(self):
+        histogram = occupancy_histogram([Residency(0, 100)], total_cycles=10)
+        assert histogram.count(1) == 10
+        assert histogram.total() == 10
+
+    def test_zero_cycles(self):
+        histogram = occupancy_histogram([Residency(0, 5)], total_cycles=0)
+        assert histogram.total() == 0
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 100), st.integers(0, 40)),
+            max_size=30,
+        ),
+        st.integers(1, 200),
+    )
+    def test_histogram_always_sums_to_total_cycles(self, raw, total_cycles):
+        residencies = [Residency(start, start + length) for start, length in raw]
+        histogram = occupancy_histogram(residencies, total_cycles)
+        assert histogram.total() == total_cycles
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 100), st.integers(1, 40)),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    def test_mean_occupancy_matches_total_residency_time(self, raw):
+        residencies = [Residency(start, start + length) for start, length in raw]
+        horizon = max(r.leave for r in residencies)
+        histogram = occupancy_histogram(residencies, horizon)
+        weighted = sum(level * cycles for level, cycles in histogram.items())
+        assert weighted == sum(r.leave - r.enter for r in residencies)
+
+
+class TestOccupancyTimeline:
+    def test_record_and_histogram(self):
+        timeline = OccupancyTimeline("AVDQ", capacity=4)
+        timeline.record(0, 10)
+        timeline.record(5, 12)
+        histogram = timeline.occupancy_histogram(total_cycles=20)
+        assert histogram.count(2) == 5
+        assert histogram.count(1) == 7
+        assert histogram.count(0) == 8
+
+    def test_zero_length_residency_ignored(self):
+        timeline = OccupancyTimeline("AVDQ")
+        timeline.record(3, 3)
+        assert len(timeline) == 0
+
+    def test_max_occupancy(self):
+        timeline = OccupancyTimeline("AVDQ")
+        assert timeline.max_occupancy() == 0
+        timeline.record(0, 10)
+        timeline.record(2, 4)
+        timeline.record(3, 4)
+        assert timeline.max_occupancy() == 3
+
+    def test_mean_occupancy(self):
+        timeline = OccupancyTimeline("AVDQ")
+        timeline.record(0, 10)
+        assert timeline.mean_occupancy(total_cycles=20) == pytest.approx(0.5)
+        assert timeline.mean_occupancy(total_cycles=0) == 0.0

@@ -1,0 +1,85 @@
+"""Tests for opcode classification."""
+
+import pytest
+
+from repro.isa import opcodes as op
+from repro.isa.opcodes import ExecutionUnit, Opcode, OpcodeClass
+
+
+class TestClassificationCoverage:
+    def test_every_opcode_is_classified(self):
+        for opcode in Opcode:
+            assert op.opcode_class(opcode) in OpcodeClass
+            assert op.execution_unit(opcode) in ExecutionUnit
+
+    def test_vector_and_scalar_are_disjoint(self):
+        for opcode in Opcode:
+            if op.opcode_class(opcode) in (
+                OpcodeClass.SCALAR_COMPUTE,
+                OpcodeClass.SCALAR_MEMORY,
+                OpcodeClass.CONTROL,
+                OpcodeClass.VECTOR_CONTROL,
+                OpcodeClass.QUEUE_MOVE,
+            ):
+                assert not op.is_vector(opcode)
+
+    def test_loads_and_stores_are_memory(self):
+        for opcode in Opcode:
+            if op.is_load(opcode) or op.is_store(opcode):
+                assert op.is_memory(opcode)
+            if op.is_memory(opcode):
+                assert op.is_load(opcode) != op.is_store(opcode)
+
+
+class TestSpecificOpcodes:
+    def test_fu2_only_operations(self):
+        for opcode in (Opcode.V_MUL, Opcode.V_DIV, Opcode.V_SQRT, Opcode.V_DOT):
+            assert op.requires_fu2(opcode)
+            assert op.execution_unit(opcode) is ExecutionUnit.FU2_ONLY
+
+    def test_fu_any_operations(self):
+        for opcode in (Opcode.V_ADD, Opcode.V_SUB, Opcode.V_AND, Opcode.V_SUM):
+            assert not op.requires_fu2(opcode)
+            assert op.execution_unit(opcode) is ExecutionUnit.FU_ANY
+
+    def test_vector_memory(self):
+        assert op.execution_unit(Opcode.V_LOAD) is ExecutionUnit.MEMORY
+        assert op.is_load(Opcode.V_LOAD)
+        assert op.is_store(Opcode.V_STORE)
+        assert op.is_load(Opcode.V_GATHER)
+        assert op.is_store(Opcode.V_SCATTER)
+        assert op.is_indexed_memory(Opcode.V_GATHER)
+        assert op.is_indexed_memory(Opcode.V_SCATTER)
+        assert not op.is_indexed_memory(Opcode.V_LOAD)
+
+    def test_scalar_memory_uses_memory_port(self):
+        assert op.execution_unit(Opcode.S_LOAD) is ExecutionUnit.MEMORY
+        assert op.execution_unit(Opcode.S_STORE) is ExecutionUnit.MEMORY
+
+    def test_branches(self):
+        assert op.is_branch(Opcode.BRANCH)
+        assert op.is_branch(Opcode.JUMP)
+        assert op.is_conditional_branch(Opcode.BRANCH)
+        assert not op.is_conditional_branch(Opcode.JUMP)
+
+    def test_reductions(self):
+        assert op.is_reduction(Opcode.V_SUM)
+        assert op.is_reduction(Opcode.V_DOT)
+        assert op.is_reduction(Opcode.V_EXTRACT)
+        assert not op.is_reduction(Opcode.V_ADD)
+
+    def test_queue_moves_are_internal(self):
+        for opcode in (
+            Opcode.QMOV_V_LOAD,
+            Opcode.QMOV_V_STORE,
+            Opcode.QMOV_S_LOAD,
+            Opcode.QMOV_S_STORE,
+        ):
+            assert op.is_queue_move(opcode)
+            assert op.opcode_class(opcode) is OpcodeClass.QUEUE_MOVE
+            assert op.execution_unit(opcode) is ExecutionUnit.QMOV
+
+    def test_vector_control_executes_on_scalar_unit(self):
+        assert op.execution_unit(Opcode.SET_VL) is ExecutionUnit.SCALAR
+        assert op.execution_unit(Opcode.SET_VS) is ExecutionUnit.SCALAR
+        assert not op.is_vector(Opcode.SET_VL)

@@ -1,0 +1,83 @@
+"""Tests for the register model."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.isa.registers import (
+    Register,
+    RegisterClass,
+    RegisterFile,
+    VECTOR_REGISTER_COUNT,
+    VL_REGISTER,
+    VS_REGISTER,
+    a_reg,
+    s_reg,
+    v_reg,
+)
+
+
+class TestRegister:
+    def test_constructors(self):
+        assert a_reg(3).register_class is RegisterClass.ADDRESS
+        assert s_reg(2).register_class is RegisterClass.SCALAR
+        assert v_reg(7).register_class is RegisterClass.VECTOR
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            v_reg(VECTOR_REGISTER_COUNT)
+        with pytest.raises(ConfigurationError):
+            a_reg(-1)
+
+    def test_names(self):
+        assert str(v_reg(3)) == "v3"
+        assert str(a_reg(0)) == "a0"
+        assert str(VL_REGISTER) == "VL"
+        assert str(VS_REGISTER) == "VS"
+
+    def test_classification(self):
+        assert v_reg(0).is_vector
+        assert not v_reg(0).is_scalar
+        assert a_reg(0).is_scalar
+        assert s_reg(0).is_scalar
+        assert not s_reg(0).is_vector
+
+    def test_vector_banks_group_pairs(self):
+        assert v_reg(0).bank == 0
+        assert v_reg(1).bank == 0
+        assert v_reg(2).bank == 1
+        assert v_reg(7).bank == 3
+
+    def test_bank_of_scalar_register_rejected(self):
+        with pytest.raises(ConfigurationError):
+            _ = s_reg(0).bank
+
+    def test_hashable_and_equal(self):
+        assert v_reg(3) == v_reg(3)
+        assert v_reg(3) != v_reg(4)
+        assert len({v_reg(1), v_reg(1), v_reg(2)}) == 2
+
+
+class TestRegisterFile:
+    def test_round_robin_allocation(self):
+        register_file = RegisterFile(RegisterClass.VECTOR)
+        allocated = register_file.allocate_many(10)
+        assert [r.index for r in allocated[:8]] == list(range(8))
+        assert allocated[8].index == 0
+        assert allocated[9].index == 1
+
+    def test_reduced_size(self):
+        register_file = RegisterFile(RegisterClass.VECTOR, size=4)
+        allocated = register_file.allocate_many(5)
+        assert [r.index for r in allocated] == [0, 1, 2, 3, 0]
+
+    def test_reset(self):
+        register_file = RegisterFile(RegisterClass.SCALAR)
+        register_file.allocate()
+        register_file.reset()
+        assert register_file.allocate().index == 0
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ConfigurationError):
+            RegisterFile(RegisterClass.VECTOR, size=0)
+        with pytest.raises(ConfigurationError):
+            RegisterFile(RegisterClass.VECTOR, size=100)

@@ -1,0 +1,76 @@
+"""Tests for the scalar cache."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.errors import ConfigurationError
+from repro.memory.scalar_cache import ScalarCache, ScalarCacheConfig
+
+
+class TestScalarCacheConfig:
+    def test_defaults(self):
+        config = ScalarCacheConfig()
+        assert config.capacity_bytes == 32 * 1024
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ScalarCacheConfig(line_bytes=0)
+        with pytest.raises(ConfigurationError):
+            ScalarCacheConfig(line_bytes=24)
+        with pytest.raises(ConfigurationError):
+            ScalarCacheConfig(lines=0)
+        with pytest.raises(ConfigurationError):
+            ScalarCacheConfig(hit_latency=-1)
+
+
+class TestScalarCache:
+    def test_cold_miss_then_hit(self):
+        cache = ScalarCache()
+        assert not cache.access(0x1000)
+        assert cache.access(0x1000)
+        assert cache.access(0x1008)  # same 32-byte line
+        assert cache.hits == 2
+        assert cache.misses == 1
+
+    def test_different_lines_miss(self):
+        cache = ScalarCache(ScalarCacheConfig(line_bytes=32, lines=8))
+        assert not cache.access(0x0)
+        assert not cache.access(0x20)
+        assert cache.accesses == 2
+        assert cache.hit_rate == 0.0
+
+    def test_conflict_eviction(self):
+        cache = ScalarCache(ScalarCacheConfig(line_bytes=32, lines=2))
+        cache.access(0x00)          # line 0
+        cache.access(0x40)          # maps to line 0 again, evicts
+        assert not cache.access(0x00)
+
+    def test_probe_does_not_modify_state(self):
+        cache = ScalarCache()
+        assert not cache.probe(0x500)
+        assert cache.accesses == 0
+        cache.access(0x500)
+        assert cache.probe(0x500)
+        assert cache.accesses == 1
+
+    def test_reset(self):
+        cache = ScalarCache()
+        cache.access(0x100)
+        cache.reset()
+        assert cache.accesses == 0
+        assert not cache.probe(0x100)
+
+    def test_hit_rate_empty(self):
+        assert ScalarCache().hit_rate == 0.0
+
+    @given(st.lists(st.integers(0, 0x3FF), min_size=1, max_size=200))
+    def test_repeated_small_working_set_eventually_hits(self, addresses):
+        # A working set smaller than the cache must hit on every second pass.
+        cache = ScalarCache(ScalarCacheConfig(line_bytes=32, lines=64))
+        for address in addresses:
+            cache.access(address)
+        hits_before = cache.hits
+        for address in addresses:
+            assert cache.access(address) or True
+        # Second pass over a <=1 KiB working set in a 2 KiB cache: all hits.
+        assert cache.hits - hits_before == len(addresses)

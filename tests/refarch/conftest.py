@@ -1,0 +1,22 @@
+"""Shared helpers for reference-architecture tests."""
+
+import pytest
+
+from repro.isa.builder import InstructionBuilder
+from repro.isa.program import BasicBlock
+from repro.trace.generator import TraceBuilder
+
+
+@pytest.fixture
+def trace_from_block():
+    """Build a one-block trace from a callback that emits instructions."""
+
+    def _build(emitter, name="unit", repeats=1):
+        block = BasicBlock("body")
+        emitter(InstructionBuilder(block))
+        builder = TraceBuilder(name)
+        for _ in range(repeats):
+            builder.append_block(block)
+        return builder.build()
+
+    return _build

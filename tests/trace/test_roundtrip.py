@@ -1,0 +1,93 @@
+"""Round-trip tests for trace serialization."""
+
+import pytest
+
+from repro.common.errors import TraceError
+from repro.isa.builder import InstructionBuilder
+from repro.isa.opcodes import Opcode
+from repro.isa.program import BasicBlock
+from repro.isa.registers import s_reg, v_reg
+from repro.trace.generator import TraceBuilder
+from repro.trace.reader import read_trace
+from repro.trace.writer import write_trace
+
+
+def _make_trace():
+    block = BasicBlock("loop")
+    builder = InstructionBuilder(block)
+    builder.set_vector_length(48)
+    builder.set_vector_stride(2)
+    builder.vector_load(v_reg(0), "x", stride=2)
+    builder.vector_op(Opcode.V_MUL, v_reg(1), [v_reg(0), v_reg(0)])
+    builder.vector_store(v_reg(1), "spill_a", is_spill=True)
+    builder.vector_load(v_reg(2), "idx", indexed=True)
+    builder.scalar_load(s_reg(0), "globals")
+    builder.branch(s_reg(0))
+
+    trace_builder = TraceBuilder("roundtrip")
+    for iteration in range(3):
+        trace_builder.append_block(block, region_offsets={"x": iteration * 48})
+    return trace_builder.build()
+
+
+class TestTraceRoundtrip:
+    def test_plain_roundtrip(self, tmp_path):
+        original = _make_trace()
+        path = write_trace(original, tmp_path / "trace.jsonl")
+        restored = read_trace(path)
+        self._assert_equivalent(original, restored)
+
+    def test_gzip_roundtrip(self, tmp_path):
+        original = _make_trace()
+        path = write_trace(original, tmp_path / "trace.jsonl.gz")
+        restored = read_trace(path)
+        self._assert_equivalent(original, restored)
+
+    def _assert_equivalent(self, original, restored):
+        assert restored.name == original.name
+        assert restored.blocks_executed == original.blocks_executed
+        assert len(restored) == len(original)
+        for first, second in zip(original, restored):
+            assert first.sequence == second.sequence
+            assert first.opcode == second.opcode
+            assert first.vector_length == second.vector_length
+            assert first.stride_elements == second.stride_elements
+            assert first.base_address == second.base_address
+            assert first.block_label == second.block_label
+            assert first.instruction.destinations == second.instruction.destinations
+            assert first.instruction.sources == second.instruction.sources
+            if first.instruction.memory is not None:
+                assert first.instruction.memory == second.instruction.memory
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(TraceError):
+            read_trace(tmp_path / "missing.jsonl")
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(TraceError):
+            read_trace(path)
+
+    def test_wrong_version_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"format_version": 99, "name": "x", "records": 0}\n')
+        with pytest.raises(TraceError):
+            read_trace(path)
+
+    def test_record_count_mismatch_rejected(self, tmp_path):
+        original = _make_trace()
+        path = write_trace(original, tmp_path / "trace.jsonl")
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:-1]) + "\n")
+        with pytest.raises(TraceError):
+            read_trace(path)
+
+    def test_malformed_record_rejected(self, tmp_path):
+        original = _make_trace()
+        path = write_trace(original, tmp_path / "trace.jsonl")
+        lines = path.read_text().splitlines()
+        lines[1] = '{"seq": 0}'
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(TraceError):
+            read_trace(path)

@@ -1,0 +1,129 @@
+"""Tests for the program models and the Perfect Club registry."""
+
+import pytest
+
+from repro.common.errors import WorkloadError
+from repro.trace.statistics import compute_statistics
+from repro.workloads import (
+    PERFECT_CLUB_PROGRAMS,
+    ProgramModel,
+    load_program,
+    program_names,
+    synthetic,
+)
+from repro.workloads.kernel import KernelSchedule
+from repro.workloads.perfect_club import build_all_programs, build_trace
+
+
+class TestProgramModel:
+    def test_requires_kernels(self):
+        with pytest.raises(WorkloadError):
+            ProgramModel(name="empty", schedules=())
+
+    def test_requires_name(self):
+        with pytest.raises(WorkloadError):
+            ProgramModel(name="", schedules=(KernelSchedule(synthetic.daxpy()),))
+
+    def test_build_trace_rejects_non_positive_scale(self):
+        model = synthetic.simple_program()
+        with pytest.raises(WorkloadError):
+            model.build_trace(scale=0)
+
+    def test_scale_changes_trace_length(self):
+        model = synthetic.simple_program(repetitions=4)
+        small = model.build_trace(scale=0.5)
+        base = model.build_trace(scale=1.0)
+        large = model.build_trace(scale=2.0)
+        assert len(small) < len(base) < len(large)
+
+    def test_small_scale_keeps_every_kernel(self):
+        model = synthetic.simple_program(repetitions=8)
+        trace = model.build_trace(scale=0.01)
+        labels = {record.block_label for record in trace}
+        assert any("stream_triad" in label for label in labels)
+        assert any("daxpy" in label for label in labels)
+
+    def test_prologue_emitted_once(self):
+        model = synthetic.simple_program()
+        trace = model.build_trace()
+        prologue_records = [r for r in trace if "prologue" in r.block_label]
+        assert len(prologue_records) == model.prologue_scalar_instructions
+
+    def test_metadata_carries_targets_and_scale(self):
+        model = load_program("ARC2D")
+        trace = model.build_trace(scale=0.5)
+        assert trace.metadata["program"] == "ARC2D"
+        assert trace.metadata["scale"] == 0.5
+        assert "vectorization_percent" in trace.metadata["targets"]
+
+    def test_kernel_named(self):
+        model = load_program("DYFESM")
+        assert model.kernel_named("dyfesm_element_forces").reduction_carried is False
+        with pytest.raises(WorkloadError):
+            model.kernel_named("missing")
+
+
+class TestPerfectClubRegistry:
+    def test_six_programs_registered(self):
+        assert program_names() == ["ARC2D", "FLO52", "BDNA", "TRFD", "DYFESM", "SPEC77"]
+        assert len(PERFECT_CLUB_PROGRAMS) == 6
+
+    def test_load_is_case_insensitive(self):
+        assert load_program("arc2d").name == "ARC2D"
+
+    def test_unknown_program_rejected(self):
+        with pytest.raises(WorkloadError):
+            load_program("NASA7")
+
+    def test_build_all_programs(self):
+        programs = build_all_programs()
+        assert set(programs) == set(program_names())
+        assert all(isinstance(model, ProgramModel) for model in programs.values())
+
+    def test_build_trace_helper(self):
+        trace = build_trace("FLO52", scale=0.25)
+        assert trace.name == "FLO52"
+        assert len(trace) > 0
+
+
+class TestPublishedStatistics:
+    """The synthetic models should land near the paper's Table 1 numbers."""
+
+    @pytest.mark.parametrize(
+        "name",
+        ["ARC2D", "FLO52", "BDNA", "TRFD"],
+    )
+    def test_vectorization_close_to_table1(self, name):
+        model = load_program(name)
+        stats = compute_statistics(model.build_trace(scale=0.5))
+        target = model.targets.vectorization_percent
+        assert target is not None
+        assert abs(stats.vectorization_percent - target) < 4.0
+
+    @pytest.mark.parametrize("name", ["ARC2D", "FLO52", "BDNA", "TRFD"])
+    def test_average_vector_length_close_to_table1(self, name):
+        model = load_program(name)
+        stats = compute_statistics(model.build_trace(scale=0.5))
+        target = model.targets.average_vector_length
+        assert target is not None
+        assert abs(stats.average_vector_length - target) <= 3.0
+
+    def test_every_program_is_highly_vectorized(self):
+        # The paper requires > 70 % vectorization for a program to be studied.
+        for name in program_names():
+            stats = compute_statistics(load_program(name).build_trace(scale=0.5))
+            assert stats.vectorization_percent > 70.0
+
+    def test_bdna_is_the_spill_champion(self):
+        fractions = {}
+        for name in program_names():
+            stats = compute_statistics(load_program(name).build_trace(scale=0.5))
+            fractions[name] = stats.spill_fraction
+        assert max(fractions, key=fractions.get) == "BDNA"
+        assert fractions["BDNA"] > 0.6
+        assert fractions["SPEC77"] < 0.05
+
+    def test_dyfesm_has_carried_reduction_loops(self):
+        model = load_program("DYFESM")
+        carried = [k for k in model.kernels if k.reduction_carried]
+        assert len(carried) == 2
