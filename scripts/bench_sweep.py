@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Benchmark the sweep runner and record the result in BENCH_sweep.json.
+
+Times a small REF+DVA sweep (two programs, three latencies) three ways —
+cold serial (trace building included), warm serial (traces cached) and
+multiprocess — so successive PRs can track the performance trajectory of
+the experiment layer.  Run from the repository root:
+
+    python scripts/bench_sweep.py [--scale S] [--jobs N] [--output PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "src"))
+
+from repro import Runner, SweepSpec  # noqa: E402
+
+
+def _time(label: str, fn) -> dict:
+    start = time.perf_counter()
+    sweep = fn()
+    elapsed = time.perf_counter() - start
+    cells = len(sweep)
+    return {
+        "label": label,
+        "seconds": round(elapsed, 4),
+        "cells": cells,
+        "cells_per_second": round(cells / elapsed, 2) if elapsed else None,
+        "total_cycles_simulated": sum(result.total_cycles for result in sweep),
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=1.0)
+    parser.add_argument("--jobs", type=int, default=2)
+    parser.add_argument("--output", default="BENCH_sweep.json")
+    args = parser.parse_args()
+
+    spec = SweepSpec(
+        programs=("dyfesm", "trfd"),
+        latencies=(1, 50, 100),
+        architectures=("ref", "dva"),
+        scale=args.scale,
+    )
+
+    serial_runner = Runner(jobs=1)
+    runs = [
+        _time("serial_cold", lambda: serial_runner.run(spec)),
+        _time("serial_warm_trace_cache", lambda: serial_runner.run(spec)),
+        _time(f"multiprocess_jobs{args.jobs}", lambda: Runner(jobs=args.jobs).run(spec)),
+    ]
+
+    report = {
+        "benchmark": "core sweep runner (REF+DVA, 2 programs x 3 latencies)",
+        "spec": {
+            "programs": list(spec.programs),
+            "latencies": list(spec.latencies),
+            "architectures": list(spec.architectures),
+            "scale": spec.scale,
+        },
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "runs": runs,
+    }
+    with open(args.output, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+
+    for run in runs:
+        print(f"{run['label']:28s} {run['seconds']:8.4f}s  "
+              f"{run['cells_per_second']} cells/s")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

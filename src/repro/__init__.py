@@ -12,10 +12,45 @@ contribution:
 * :mod:`repro.refarch` — the reference (non-decoupled) vector architecture.
 * :mod:`repro.dva` — the decoupled vector architecture with load/store queues
   and the store→load bypass.
-* :mod:`repro.core` — configuration, experiment runner, lower bounds, metrics
-  and figure/table reproduction.
+* :mod:`repro.core` — the unified experiment API: the :class:`~repro.core.Simulator`
+  protocol and architecture registry, run configuration, the sweep
+  runner (serial or multiprocessing, with per-program trace caching),
+  figure/table reproduction and the ``python -m repro`` command line.
+
+The :mod:`repro.core` facade is re-exported here, so most callers only need::
+
+    from repro import SweepSpec, run_sweep, simulate
 """
 
-__version__ = "1.0.0"
+from repro.core import (
+    Experiment,
+    RunConfig,
+    RunResult,
+    Runner,
+    Simulator,
+    SweepResult,
+    SweepSpec,
+    architecture,
+    architecture_names,
+    register_architecture,
+    run_sweep,
+    simulate,
+)
 
-__all__ = ["__version__"]
+__version__ = "1.1.0"
+
+__all__ = [
+    "Experiment",
+    "RunConfig",
+    "RunResult",
+    "Runner",
+    "Simulator",
+    "SweepResult",
+    "SweepSpec",
+    "__version__",
+    "architecture",
+    "architecture_names",
+    "register_architecture",
+    "run_sweep",
+    "simulate",
+]

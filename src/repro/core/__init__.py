@@ -1,0 +1,62 @@
+"""The unified experiment API — the package's public surface.
+
+Everything the paper's experiments need is reachable from here without
+touching the per-architecture packages:
+
+* :class:`Simulator` protocol and the architecture registry (``"ref"``,
+  ``"dva"``, ``"dva-nobypass"``; extensible via :func:`register_architecture`)
+  adapting both simulators behind one ``simulate(trace, config)`` call that
+  returns a unified, JSON-serializable :class:`RunResult`.
+* :class:`SweepSpec` / :class:`Experiment` declaring
+  (programs × latencies × architectures) grids and the :class:`Runner`
+  executing them serially or across a ``multiprocessing`` pool with
+  per-program trace caching.
+* :mod:`repro.core.figures` computing the paper's headline artifacts
+  (Figure 5 speedup curves, Figure 6 queue-occupancy histograms, the
+  Section 7 bypass-traffic table) as plain rows.
+* :mod:`repro.core.cli` backing the ``python -m repro`` command line.
+"""
+
+from repro.core.config import RunConfig
+from repro.core.experiment import (
+    Experiment,
+    Runner,
+    SweepCell,
+    SweepResult,
+    SweepSpec,
+    TraceCache,
+    run_sweep,
+)
+from repro.core.registry import (
+    DecoupledArchitecture,
+    ReferenceArchitecture,
+    Simulator,
+    architecture,
+    architecture_names,
+    register_architecture,
+    simulate,
+    unregister_architecture,
+)
+from repro.core.result import RunResult
+from repro.core import figures
+
+__all__ = [
+    "DecoupledArchitecture",
+    "Experiment",
+    "ReferenceArchitecture",
+    "RunConfig",
+    "RunResult",
+    "Runner",
+    "Simulator",
+    "SweepCell",
+    "SweepResult",
+    "SweepSpec",
+    "TraceCache",
+    "architecture",
+    "architecture_names",
+    "figures",
+    "register_architecture",
+    "run_sweep",
+    "simulate",
+    "unregister_architecture",
+]

@@ -1,0 +1,215 @@
+"""Command-line interface: ``python -m repro``.
+
+Four subcommands drive the experiment API end to end:
+
+* ``list-programs`` — the available Perfect Club program models.
+* ``run`` — simulate one (program, architecture, latency) cell.
+* ``sweep`` — execute a declarative grid and print per-cell summaries plus a
+  Figure 5-style speedup table.
+* ``figures`` — run the paper's headline grid and write the Figure 5,
+  Figure 6 and Section 7 artifacts as CSV files.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+from typing import List, Optional, Sequence
+
+from repro.common.errors import ReproError
+from repro.core import figures as figures_module
+from repro.core.experiment import Runner, SweepResult, SweepSpec
+from repro.core.registry import architecture, architecture_names, simulate
+from repro.workloads.perfect_club import load_program, program_names
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description=(
+            "Reproduction of 'Decoupled Vector Architectures' "
+            "(Espasa & Valero, HPCA 1996)"
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    list_parser = subparsers.add_parser(
+        "list-programs", help="list the available benchmark program models"
+    )
+    list_parser.set_defaults(handler=_cmd_list_programs)
+
+    run_parser = subparsers.add_parser(
+        "run", help="simulate one program on one architecture"
+    )
+    run_parser.add_argument("--program", required=True, help="benchmark program name")
+    run_parser.add_argument(
+        "--arch",
+        default="dva",
+        help=f"architecture ({', '.join(architecture_names())})",
+    )
+    run_parser.add_argument(
+        "--latency", type=int, default=1, help="memory latency in cycles"
+    )
+    run_parser.add_argument(
+        "--scale", type=float, default=1.0, help="trace scale factor"
+    )
+    run_parser.set_defaults(handler=_cmd_run)
+
+    sweep_parser = subparsers.add_parser(
+        "sweep", help="run a (programs x latencies x architectures) grid"
+    )
+    sweep_parser.add_argument(
+        "--programs", required=True, help="comma-separated program names"
+    )
+    sweep_parser.add_argument(
+        "--latencies", required=True, help="comma-separated memory latencies"
+    )
+    sweep_parser.add_argument(
+        "--arch",
+        default="ref,dva",
+        help="comma-separated architectures (default: ref,dva)",
+    )
+    sweep_parser.add_argument(
+        "--scale", type=float, default=1.0, help="trace scale factor"
+    )
+    sweep_parser.add_argument(
+        "--jobs", type=int, default=1, help="worker processes (1 = serial)"
+    )
+    sweep_parser.add_argument(
+        "--output", help="write the full sweep result as JSON to this path"
+    )
+    sweep_parser.set_defaults(handler=_cmd_sweep)
+
+    figures_parser = subparsers.add_parser(
+        "figures", help="reproduce the paper's figure/table artifacts as CSV"
+    )
+    figures_parser.add_argument(
+        "--programs",
+        default=",".join(program_names()),
+        help="comma-separated program names (default: all six)",
+    )
+    figures_parser.add_argument(
+        "--latencies",
+        default="1,10,50,100",
+        help="comma-separated memory latencies (default: the paper's sweep)",
+    )
+    figures_parser.add_argument(
+        "--scale", type=float, default=1.0, help="trace scale factor"
+    )
+    figures_parser.add_argument(
+        "--jobs", type=int, default=1, help="worker processes (1 = serial)"
+    )
+    figures_parser.add_argument(
+        "--out-dir", default="figures", help="directory to write the CSV files into"
+    )
+    figures_parser.set_defaults(handler=_cmd_figures)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as exc:
+        parser.exit(2, f"error: {exc}\n")
+        return 2  # pragma: no cover - parser.exit raises SystemExit
+
+
+# -- subcommand handlers ---------------------------------------------------------------
+
+
+def _cmd_list_programs(args: argparse.Namespace) -> int:
+    for name in program_names():
+        model = load_program(name)
+        print(f"{name:8s} {model.description}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    architecture(args.arch)  # fail fast before the (slower) trace build
+    trace = load_program(args.program).build_trace(scale=args.scale)
+    result = simulate(trace, args.arch, latency=args.latency)
+    print(json.dumps(result.summary(), indent=2))
+    return 0
+
+
+def _run_sweep(args: argparse.Namespace) -> SweepResult:
+    spec = SweepSpec.from_strings(
+        programs=args.programs,
+        latencies=args.latencies,
+        architectures=args.arch,
+        scale=args.scale,
+    )
+    return Runner(jobs=args.jobs).run(spec)
+
+
+def _summary_rows(sweep: SweepResult) -> List[dict]:
+    return [
+        {
+            "program": result.program,
+            "latency": result.latency,
+            "arch": result.architecture,
+            "total_cycles": result.total_cycles,
+            "instructions": result.instructions,
+            "traffic_bytes": result.memory_traffic_bytes,
+        }
+        for result in sweep
+    ]
+
+
+def _print_speedup_table(sweep: SweepResult) -> None:
+    baseline = "ref"
+    targets = [name for name in sweep.spec.architectures if name != baseline]
+    if baseline not in sweep.spec.architectures or not targets:
+        print("\n(speedup table needs 'ref' plus at least one other architecture)")
+        return
+    for target in targets:
+        print(f"\nFigure 5 — {target.upper()} speedup over REF:")
+        print(figures_module.format_table(figures_module.speedup_table(sweep, target=target)))
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    sweep = _run_sweep(args)
+    print(f"sweep: {len(sweep)} cells "
+          f"({len(sweep.spec.programs)} programs x {len(sweep.spec.latencies)} "
+          f"latencies x {len(sweep.spec.architectures)} architectures)\n")
+    print(figures_module.format_table(_summary_rows(sweep)))
+    _print_speedup_table(sweep)
+    if args.output:
+        with open(args.output, "w") as handle:
+            json.dump(sweep.to_json(), handle, indent=2)
+        print(f"\nwrote {args.output}")
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    spec = SweepSpec.from_strings(
+        programs=args.programs,
+        latencies=args.latencies,
+        architectures="ref,dva,dva-nobypass",
+        scale=args.scale,
+    )
+    sweep = Runner(jobs=args.jobs).run(spec)
+    os.makedirs(args.out_dir, exist_ok=True)
+
+    artifacts = {
+        "figure5_speedup.csv": figures_module.speedup_table(sweep),
+        "figure5_speedup_nobypass.csv": figures_module.speedup_table(
+            sweep, target="dva-nobypass"
+        ),
+        "figure6_avdq_occupancy.csv": figures_module.queue_occupancy_rows(sweep),
+        "section7_bypass.csv": figures_module.bypass_traffic_table(sweep),
+    }
+    for filename, rows in artifacts.items():
+        path = os.path.join(args.out_dir, filename)
+        figures_module.write_csv(rows, path)
+        print(f"wrote {path} ({len(rows)} rows)")
+
+    sweep_path = os.path.join(args.out_dir, "sweep.json")
+    with open(sweep_path, "w") as handle:
+        json.dump(sweep.to_json(), handle, indent=2)
+    print(f"wrote {sweep_path}")
+    return 0

@@ -1,0 +1,279 @@
+"""Declarative experiments: sweep grids and the runner that executes them.
+
+The paper's central experiment is a grid — six Perfect Club programs × memory
+latencies {1, 10, 50, 100} × machines {REF, DVA} (§4–§7).  A
+:class:`SweepSpec` declares such a grid, an :class:`Experiment` binds it to a
+base :class:`~repro.core.config.RunConfig`, and a :class:`Runner` executes
+every cell either serially or across a ``multiprocessing`` pool.
+
+Trace generation is the repeated cost across cells (every latency and
+architecture of one program re-simulates the same trace), so the runner builds
+each program's trace exactly once: the serial path keeps a per-runner
+:class:`TraceCache`, and the parallel path ships one task per program whose
+worker builds the trace once and sweeps all of that program's cells.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.common.errors import ConfigurationError
+from repro.core.config import RunConfig
+from repro.core.registry import Simulator, architecture
+from repro.core.result import RunResult
+from repro.trace.record import Trace
+from repro.workloads.perfect_club import load_program
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One point of a sweep grid."""
+
+    program: str
+    latency: int
+    architecture: str
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A (programs × latencies × architectures) grid.
+
+    Program names are normalized to the registry's upper-case form and
+    architecture names to lower case, so specs parsed from a command line
+    compare equal to specs built in code.
+    """
+
+    programs: Tuple[str, ...]
+    latencies: Tuple[int, ...]
+    architectures: Tuple[str, ...] = ("ref", "dva")
+    scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "programs", tuple(str(p).upper() for p in self.programs)
+        )
+        object.__setattr__(
+            self, "latencies", tuple(int(lat) for lat in self.latencies)
+        )
+        object.__setattr__(
+            self, "architectures", tuple(str(a).lower() for a in self.architectures)
+        )
+        if not self.programs:
+            raise ConfigurationError("a sweep needs at least one program")
+        if not self.latencies:
+            raise ConfigurationError("a sweep needs at least one memory latency")
+        if not self.architectures:
+            raise ConfigurationError("a sweep needs at least one architecture")
+        if any(latency < 0 for latency in self.latencies):
+            raise ConfigurationError("memory latencies cannot be negative")
+        if self.scale <= 0:
+            raise ConfigurationError("trace scale must be positive")
+
+    @classmethod
+    def from_strings(
+        cls,
+        programs: str,
+        latencies: str,
+        architectures: str = "ref,dva",
+        scale: float = 1.0,
+    ) -> "SweepSpec":
+        """Parse comma-separated lists, as given on the command line."""
+        try:
+            parsed_latencies = tuple(
+                int(s) for s in (s.strip() for s in latencies.split(",")) if s
+            )
+        except ValueError as exc:
+            raise ConfigurationError(
+                f"latencies must be integers, got {latencies!r}"
+            ) from exc
+        return cls(
+            programs=tuple(p for p in (s.strip() for s in programs.split(",")) if p),
+            latencies=parsed_latencies,
+            architectures=tuple(
+                a for a in (s.strip() for s in architectures.split(",")) if a
+            ),
+            scale=scale,
+        )
+
+    def cells(self) -> Iterator[SweepCell]:
+        """Grid cells in deterministic program-major order."""
+        for program in self.programs:
+            for latency in self.latencies:
+                for arch in self.architectures:
+                    yield SweepCell(program, latency, arch)
+
+    def __len__(self) -> int:
+        return len(self.programs) * len(self.latencies) * len(self.architectures)
+
+
+class TraceCache:
+    """Builds each (program, scale) trace at most once."""
+
+    def __init__(self) -> None:
+        self._traces: Dict[Tuple[str, float], Trace] = {}
+
+    def get(self, program: str, scale: float) -> Trace:
+        key = (program.upper(), scale)
+        trace = self._traces.get(key)
+        if trace is None:
+            trace = load_program(program).build_trace(scale=scale)
+            self._traces[key] = trace
+        return trace
+
+    def __len__(self) -> int:
+        return len(self._traces)
+
+
+def _run_cells(
+    trace: Trace, pairs: Sequence[Tuple[int, Simulator]], config: RunConfig
+) -> List[RunResult]:
+    """Sweep one trace across its (latency, simulator) cells."""
+    return [
+        simulator.simulate(trace, config.with_latency(latency))
+        for latency, simulator in pairs
+    ]
+
+
+def _run_program_cells(
+    task: Tuple[str, float, Sequence[Tuple[int, Simulator]], RunConfig]
+) -> List[RunResult]:
+    """Worker: build one program's trace, then sweep its cells.
+
+    Module-level so ``multiprocessing`` can pickle it under both the fork and
+    spawn start methods.  The task carries the resolved :class:`Simulator`
+    objects rather than registry names, so runtime-registered extensions work
+    in workers too — provided the simulator object itself pickles.
+    """
+    program, scale, pairs, config = task
+    trace = load_program(program).build_trace(scale=scale)
+    return _run_cells(trace, pairs, config)
+
+
+class Runner:
+    """Executes sweep grids, serially or across a process pool.
+
+    ``jobs=1`` runs in-process against a shared :class:`TraceCache`;
+    ``jobs>1`` distributes one task per program over a ``multiprocessing``
+    pool (workers build their program's trace themselves, so the parent's
+    cache is not populated).  Both paths produce identical results in
+    identical order — the simulators are deterministic and each cell is
+    independent — which the test suite asserts.
+    """
+
+    def __init__(self, jobs: int = 1) -> None:
+        if jobs < 1:
+            raise ConfigurationError("runner needs at least one job")
+        self.jobs = jobs
+        self.trace_cache = TraceCache()
+
+    def run(self, spec: SweepSpec, config: Optional[RunConfig] = None) -> "SweepResult":
+        """Execute every cell of ``spec`` and collect the results."""
+        config = config if config is not None else RunConfig()
+        for program in spec.programs:
+            load_program(program)  # fail fast on unknown programs
+
+        # Resolve names once, up front: unknown architectures fail before any
+        # simulation, and workers receive the simulator objects themselves.
+        pairs = [
+            (latency, architecture(arch))
+            for latency in spec.latencies
+            for arch in spec.architectures
+        ]
+        tasks = [(program, spec.scale, pairs, config) for program in spec.programs]
+
+        if self.jobs == 1 or len(spec.programs) == 1:
+            per_program = [
+                _run_cells(self.trace_cache.get(program, scale), task_pairs, task_config)
+                for program, scale, task_pairs, task_config in tasks
+            ]
+        else:
+            workers = min(self.jobs, len(tasks))
+            with multiprocessing.Pool(processes=workers) as pool:
+                per_program = pool.map(_run_program_cells, tasks)
+
+        results = [result for program_results in per_program for result in program_results]
+        return SweepResult(spec=spec, results=results)
+
+
+@dataclass
+class SweepResult:
+    """All cell results of one executed sweep, in grid order."""
+
+    spec: SweepSpec
+    results: List[RunResult]
+
+    def __iter__(self) -> Iterator[RunResult]:
+        return iter(self.results)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def get(self, program: str, latency: int, architecture_name: str) -> RunResult:
+        """The result of one cell; raises when the cell was not in the grid."""
+        key = (program.upper(), int(latency), architecture_name.lower())
+        for result in self.results:
+            if result.cell_key == key:
+                return result
+        raise ConfigurationError(f"sweep has no cell {key!r}")
+
+    def by_architecture(self, architecture_name: str) -> List[RunResult]:
+        """All results produced by one architecture, in grid order."""
+        name = architecture_name.lower()
+        return [result for result in self.results if result.architecture == name]
+
+    def summaries(self) -> List[Dict[str, object]]:
+        """Per-cell headline dictionaries, in grid order."""
+        return [result.summary() for result in self.results]
+
+    def to_json(self) -> Dict[str, object]:
+        """A dictionary that survives ``json.dumps``/``json.loads`` unchanged."""
+        return {
+            "spec": {
+                "programs": list(self.spec.programs),
+                "latencies": list(self.spec.latencies),
+                "architectures": list(self.spec.architectures),
+                "scale": self.spec.scale,
+            },
+            "results": [result.to_json() for result in self.results],
+        }
+
+    @classmethod
+    def from_json(cls, data: Mapping[str, object]) -> "SweepResult":
+        """Rebuild a :class:`SweepResult` from :meth:`to_json` output."""
+        spec_data = data["spec"]
+        assert isinstance(spec_data, Mapping)
+        spec = SweepSpec(
+            programs=tuple(spec_data["programs"]),  # type: ignore[arg-type]
+            latencies=tuple(spec_data["latencies"]),  # type: ignore[arg-type]
+            architectures=tuple(spec_data["architectures"]),  # type: ignore[arg-type]
+            scale=float(spec_data["scale"]),  # type: ignore[arg-type]
+        )
+        results = [RunResult.from_json(item) for item in data["results"]]  # type: ignore[union-attr]
+        return cls(spec=spec, results=results)
+
+
+@dataclass
+class Experiment:
+    """A sweep grid bound to a base run configuration.
+
+    The grid's per-cell latency overrides the base configuration's; everything
+    else (chaining flags, queue sizes, cache geometry) applies to every cell.
+    """
+
+    spec: SweepSpec
+    config: RunConfig = field(default_factory=RunConfig)
+    name: str = ""
+
+    def run(self, runner: Optional[Runner] = None, jobs: int = 1) -> SweepResult:
+        """Execute the experiment with ``runner`` (or a fresh one)."""
+        runner = runner if runner is not None else Runner(jobs=jobs)
+        return runner.run(self.spec, self.config)
+
+
+def run_sweep(
+    spec: SweepSpec, config: Optional[RunConfig] = None, jobs: int = 1
+) -> SweepResult:
+    """Convenience wrapper: execute ``spec`` with a fresh :class:`Runner`."""
+    return Runner(jobs=jobs).run(spec, config)

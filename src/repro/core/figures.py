@@ -1,0 +1,175 @@
+"""Reproduction of the paper's headline figures and tables.
+
+Everything here consumes an executed :class:`~repro.core.experiment.SweepResult`
+and produces plain row dictionaries — ready for a CSV file, a JSON report or a
+terminal table — so the reproduction artifacts need no plotting dependency:
+
+* :func:`speedup_table` / :func:`speedup_curves` — Figure 5: REF→DVA speedup
+  per program as memory latency grows.
+* :func:`queue_occupancy_rows` — Figure 6: cycles spent at each AVDQ
+  occupancy level.
+* :func:`bypass_traffic_table` — Section 7: loads serviced by the bypass and
+  the memory traffic it saves.
+"""
+
+from __future__ import annotations
+
+import csv
+from typing import Dict, IO, List, Sequence, Union
+
+from repro.common.errors import ConfigurationError
+from repro.core.experiment import SweepResult
+
+Row = Dict[str, object]
+
+
+def _require_architecture(sweep: SweepResult, name: str) -> None:
+    if name.lower() not in sweep.spec.architectures:
+        known = ", ".join(sweep.spec.architectures)
+        raise ConfigurationError(
+            f"sweep does not include architecture {name!r} (swept: {known})"
+        )
+
+
+def speedup_table(
+    sweep: SweepResult, baseline: str = "ref", target: str = "dva"
+) -> List[Row]:
+    """Figure 5-style rows: per (program, latency) speedup of ``target`` over ``baseline``."""
+    _require_architecture(sweep, baseline)
+    _require_architecture(sweep, target)
+    rows: List[Row] = []
+    for program in sweep.spec.programs:
+        for latency in sweep.spec.latencies:
+            base = sweep.get(program, latency, baseline)
+            other = sweep.get(program, latency, target)
+            rows.append(
+                {
+                    "program": program,
+                    "latency": latency,
+                    f"{baseline}_cycles": base.total_cycles,
+                    f"{target}_cycles": other.total_cycles,
+                    "speedup": round(other.speedup_over(base), 4),
+                }
+            )
+    return rows
+
+
+def speedup_curves(
+    sweep: SweepResult, baseline: str = "ref", target: str = "dva"
+) -> Dict[str, Dict[int, float]]:
+    """Figure 5 as curves: ``{program: {latency: speedup}}``."""
+    curves: Dict[str, Dict[int, float]] = {}
+    for row in speedup_table(sweep, baseline, target):
+        program = str(row["program"])
+        curves.setdefault(program, {})[int(row["latency"])] = float(row["speedup"])  # type: ignore[arg-type]
+    return curves
+
+
+def queue_occupancy_rows(sweep: SweepResult, architecture: str = "dva") -> List[Row]:
+    """Figure 6-style rows: cycles at each AVDQ occupancy level.
+
+    One row per (program, latency, occupancy level), with the fraction of
+    total cycles spent at that level.  Only decoupled architectures record the
+    AVDQ, so results without an ``avdq_histogram`` detail are rejected.
+    """
+    _require_architecture(sweep, architecture)
+    rows: List[Row] = []
+    for result in sweep.by_architecture(architecture):
+        histogram = result.detail.get("avdq_histogram")
+        if histogram is None:
+            raise ConfigurationError(
+                f"architecture {architecture!r} records no AVDQ occupancy "
+                "(Figure 6 needs a decoupled architecture)"
+            )
+        total = max(result.total_cycles, 1)
+        for level, cycles in histogram:  # type: ignore[union-attr]
+            rows.append(
+                {
+                    "program": result.program,
+                    "latency": result.latency,
+                    "occupancy": level,
+                    "cycles": cycles,
+                    "fraction": round(cycles / total, 4),
+                }
+            )
+    return rows
+
+
+def bypass_traffic_table(
+    sweep: SweepResult, bypass: str = "dva", reference: str = "ref"
+) -> List[Row]:
+    """Section 7-style rows: bypass hit rate and memory-traffic savings.
+
+    Compares the bypassing architecture's port traffic against the reference
+    machine's for the same cell; ``traffic_reduction`` is the fraction of REF
+    traffic the decoupled machine avoided (negative when spilling through the
+    queues added traffic instead).
+    """
+    _require_architecture(sweep, bypass)
+    _require_architecture(sweep, reference)
+    rows: List[Row] = []
+    for program in sweep.spec.programs:
+        for latency in sweep.spec.latencies:
+            dva = sweep.get(program, latency, bypass)
+            ref = sweep.get(program, latency, reference)
+            vector_loads = dva.detail.get("instructions_per_processor", {}).get(  # type: ignore[union-attr]
+                "vector_loads", 0
+            )
+            bypassed_loads = int(dva.detail.get("bypassed_loads", 0))  # type: ignore[arg-type]
+            ref_traffic = ref.memory_traffic_bytes
+            reduction = (
+                (ref_traffic - dva.memory_traffic_bytes) / ref_traffic
+                if ref_traffic
+                else 0.0
+            )
+            rows.append(
+                {
+                    "program": program,
+                    "latency": latency,
+                    "vector_loads": vector_loads,
+                    "bypassed_loads": bypassed_loads,
+                    "bypassed_bytes": dva.detail.get("bypassed_bytes", 0),
+                    "bypass_load_fraction": round(
+                        bypassed_loads / vector_loads if vector_loads else 0.0, 4
+                    ),
+                    f"{reference}_traffic_bytes": ref_traffic,
+                    f"{bypass}_traffic_bytes": dva.memory_traffic_bytes,
+                    "traffic_reduction": round(reduction, 4),
+                }
+            )
+    return rows
+
+
+def write_csv(rows: Sequence[Row], destination: Union[str, IO[str]]) -> None:
+    """Write rows (all sharing the first row's key set) as a CSV file."""
+    if not rows:
+        raise ConfigurationError("cannot write a CSV file with no rows")
+    fieldnames = list(rows[0].keys())
+    if isinstance(destination, str):
+        with open(destination, "w", newline="") as handle:
+            _write_csv_rows(rows, fieldnames, handle)
+    else:
+        _write_csv_rows(rows, fieldnames, destination)
+
+
+def _write_csv_rows(rows: Sequence[Row], fieldnames: List[str], handle: IO[str]) -> None:
+    writer = csv.DictWriter(handle, fieldnames=fieldnames)
+    writer.writeheader()
+    writer.writerows(rows)
+
+
+def format_table(rows: Sequence[Row]) -> str:
+    """Render rows as an aligned text table for terminal output."""
+    if not rows:
+        return "(no rows)"
+    headers = list(rows[0].keys())
+    table = [[str(row.get(header, "")) for header in headers] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(line[i]) for line in table))
+        for i in range(len(headers))
+    ]
+    def render(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+    lines = [render(headers), render(["-" * width for width in widths])]
+    lines.extend(render(line) for line in table)
+    return "\n".join(lines)

@@ -1,0 +1,154 @@
+"""The :class:`Simulator` protocol and the architecture registry.
+
+The two simulators in the library grew incompatible entry points
+(``ReferenceSimulator(memory, config).run(trace)`` versus
+``DecoupledSimulator(memory, config).run(trace)`` with different config and
+result types).  This module hides both behind one shape::
+
+    result = architecture("dva").simulate(trace, RunConfig(latency=50))
+
+Architectures are looked up by name in a process-wide registry seeded with the
+paper's three machines — ``"ref"``, ``"dva"`` (store→load bypass enabled,
+paper §7) and ``"dva-nobypass"`` (the §5 baseline decoupled machine) — and
+extensible through :func:`register_architecture` for ablation studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Protocol, runtime_checkable
+
+from repro.common.errors import ConfigurationError
+from repro.core.config import RunConfig
+from repro.core.result import RunResult
+from repro.dva.simulator import DecoupledSimulator
+from repro.memory.model import MemoryModel
+from repro.refarch.simulator import ReferenceSimulator
+from repro.trace.record import Trace
+
+
+@runtime_checkable
+class Simulator(Protocol):
+    """Anything that can turn a trace plus a run configuration into a result.
+
+    Implementations must be stateless across calls (one ``simulate`` call must
+    not affect the next) so the sweep runner can reuse them freely across
+    cells and processes.
+    """
+
+    name: str
+    description: str
+
+    def simulate(self, trace: Trace, config: RunConfig) -> RunResult:
+        """Simulate ``trace`` under ``config`` and return the unified result."""
+        ...
+
+
+@dataclass(frozen=True)
+class ReferenceArchitecture:
+    """Adapter exposing :class:`ReferenceSimulator` through the protocol."""
+
+    name: str = "ref"
+    description: str = "reference in-order vector machine (paper §2.1)"
+
+    def simulate(self, trace: Trace, config: RunConfig) -> RunResult:
+        simulator = ReferenceSimulator(
+            MemoryModel(latency=config.latency), config=config.reference
+        )
+        return RunResult.from_reference(simulator.run(trace), architecture=self.name)
+
+
+@dataclass(frozen=True)
+class DecoupledArchitecture:
+    """Adapter exposing :class:`DecoupledSimulator` through the protocol.
+
+    ``bypass`` pins the store→load bypass setting regardless of what the
+    caller's :class:`~repro.dva.config.DecoupledConfig` says, so that the
+    registry names ``"dva"`` and ``"dva-nobypass"`` always mean what they say;
+    every other decoupled parameter is taken from the run configuration.
+    """
+
+    name: str = "dva"
+    description: str = "decoupled vector machine with store→load bypass (paper §7)"
+    bypass: bool = True
+
+    def simulate(self, trace: Trace, config: RunConfig) -> RunResult:
+        decoupled = config.decoupled.with_bypass(self.bypass)
+        simulator = DecoupledSimulator(
+            MemoryModel(latency=config.latency), config=decoupled
+        )
+        return RunResult.from_decoupled(simulator.run(trace), architecture=self.name)
+
+
+_REGISTRY: Dict[str, Simulator] = {}
+
+
+def register_architecture(simulator: Simulator, *, replace: bool = False) -> Simulator:
+    """Add ``simulator`` to the registry under its ``name``.
+
+    Names are case-insensitive.  Registering an existing name raises unless
+    ``replace=True``, to catch accidental collisions between extensions.
+    Returns the simulator so the call can be used as a decorator tail.
+    """
+    key = simulator.name.lower()
+    if not key:
+        raise ConfigurationError("architecture name cannot be empty")
+    if key in _REGISTRY and not replace:
+        raise ConfigurationError(
+            f"architecture {simulator.name!r} is already registered "
+            "(pass replace=True to override)"
+        )
+    _REGISTRY[key] = simulator
+    return simulator
+
+
+def unregister_architecture(name: str) -> None:
+    """Remove a registered architecture (used by tests and ablation scripts)."""
+    _REGISTRY.pop(name.lower(), None)
+
+
+def architecture(name: str) -> Simulator:
+    """Look up an architecture by (case-insensitive) name."""
+    try:
+        return _REGISTRY[name.lower()]
+    except KeyError as exc:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ConfigurationError(
+            f"unknown architecture {name!r} (known: {known})"
+        ) from exc
+
+
+def architecture_names() -> List[str]:
+    """Registered architecture names, built-ins first."""
+    builtin = [name for name in ("ref", "dva", "dva-nobypass") if name in _REGISTRY]
+    extensions = sorted(set(_REGISTRY) - set(builtin))
+    return builtin + extensions
+
+
+def simulate(
+    trace: Trace,
+    architecture_name: str,
+    latency: Optional[int] = None,
+    config: Optional[RunConfig] = None,
+) -> RunResult:
+    """One-call entry point: simulate ``trace`` on a named architecture.
+
+    ``latency`` is a convenience shortcut for the common case; pass a full
+    :class:`RunConfig` to control the architectural parameter blocks too.
+    """
+    if config is None:
+        config = RunConfig(latency=latency if latency is not None else 1)
+    elif latency is not None:
+        config = config.with_latency(latency)
+    return architecture(architecture_name).simulate(trace, config)
+
+
+register_architecture(ReferenceArchitecture())
+register_architecture(DecoupledArchitecture())
+register_architecture(
+    DecoupledArchitecture(
+        name="dva-nobypass",
+        description="decoupled vector machine without the bypass (paper §5)",
+        bypass=False,
+    )
+)

@@ -1,0 +1,117 @@
+"""The architecture-independent run result.
+
+Both simulators produce rich, architecture-specific dataclasses
+(:class:`~repro.refarch.result.ReferenceResult`,
+:class:`~repro.dva.result.DecoupledResult`) full of interval recorders and
+occupancy timelines.  The experiment layer needs none of that machinery — it
+needs numbers that compare across architectures, travel through
+``multiprocessing`` pickles and land in JSON files unchanged.
+:class:`RunResult` is that common denominator: the shared headline metrics as
+first-class fields plus the full ``to_json()`` payload of the underlying
+result in :attr:`detail`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping
+
+from repro.common.errors import SimulationError
+from repro.dva.result import DecoupledResult
+from repro.refarch.result import ReferenceResult
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """The unified, JSON-serializable summary of one simulation run.
+
+    Attributes:
+        architecture: registry name of the architecture that produced the run
+            (``"ref"``, ``"dva"``, ``"dva-nobypass"``, or a registered
+            extension).
+        program: name of the traced program.
+        latency: memory latency the run was simulated at.
+        total_cycles: execution time in cycles.
+        instructions: dynamic instructions simulated.
+        memory_traffic_bytes: bytes moved over the memory port.
+        scalar_cache_hits / scalar_cache_misses: scalar-cache behaviour.
+        detail: the underlying result's full ``to_json()`` payload —
+            architecture-specific keys such as ``avdq_histogram`` (DVA) or
+            ``category_cycles`` (REF) live here.
+    """
+
+    architecture: str
+    program: str
+    latency: int
+    total_cycles: int
+    instructions: int
+    memory_traffic_bytes: int = 0
+    scalar_cache_hits: int = 0
+    scalar_cache_misses: int = 0
+    detail: Dict[str, object] = field(default_factory=dict)
+
+    # -- constructors ----------------------------------------------------------------
+
+    @classmethod
+    def from_reference(
+        cls, result: ReferenceResult, architecture: str = "ref"
+    ) -> "RunResult":
+        """Wrap a reference-architecture result."""
+        return cls._from_detail(architecture, result.to_json())
+
+    @classmethod
+    def from_decoupled(
+        cls, result: DecoupledResult, architecture: str = "dva"
+    ) -> "RunResult":
+        """Wrap a decoupled-architecture result."""
+        return cls._from_detail(architecture, result.to_json())
+
+    @classmethod
+    def _from_detail(cls, architecture: str, detail: Dict[str, object]) -> "RunResult":
+        return cls(
+            architecture=architecture,
+            program=str(detail["program"]),
+            latency=int(detail["latency"]),  # type: ignore[arg-type]
+            total_cycles=int(detail["total_cycles"]),  # type: ignore[arg-type]
+            instructions=int(detail["instructions"]),  # type: ignore[arg-type]
+            memory_traffic_bytes=int(detail["memory_traffic_bytes"]),  # type: ignore[arg-type]
+            scalar_cache_hits=int(detail["scalar_cache_hits"]),  # type: ignore[arg-type]
+            scalar_cache_misses=int(detail["scalar_cache_misses"]),  # type: ignore[arg-type]
+            detail=detail,
+        )
+
+    # -- derived quantities -----------------------------------------------------------
+
+    @property
+    def cell_key(self) -> tuple:
+        """The (program, latency, architecture) coordinate of this run."""
+        return (self.program, self.latency, self.architecture)
+
+    def speedup_over(self, baseline: "RunResult") -> float:
+        """Execution-time speedup of this run relative to ``baseline``."""
+        if baseline.program != self.program or baseline.latency != self.latency:
+            raise SimulationError(
+                f"speedup compares runs of the same cell; got {baseline.cell_key} "
+                f"vs {self.cell_key}"
+            )
+        if self.total_cycles == 0:
+            return 0.0
+        return baseline.total_cycles / self.total_cycles
+
+    def summary(self) -> Dict[str, object]:
+        """The flat headline dictionary, tagged with the architecture name."""
+        return {"architecture": self.architecture, **self.detail}
+
+    # -- serialization ----------------------------------------------------------------
+
+    def to_json(self) -> Dict[str, object]:
+        """A dictionary that survives ``json.dumps``/``json.loads`` unchanged."""
+        return {"architecture": self.architecture, "detail": dict(self.detail)}
+
+    @classmethod
+    def from_json(cls, data: Mapping[str, object]) -> "RunResult":
+        """Rebuild a :class:`RunResult` from :meth:`to_json` output."""
+        detail = data["detail"]
+        if not isinstance(detail, Mapping):
+            raise SimulationError("RunResult JSON payload lacks a 'detail' mapping")
+        return cls._from_detail(str(data["architecture"]), dict(detail))

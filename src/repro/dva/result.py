@@ -97,17 +97,43 @@ class DecoupledResult:
         return self.bypassed_loads / loads
 
     def summary(self) -> Dict[str, object]:
-        """Headline numbers as a flat dictionary."""
+        """Headline numbers as a flat dictionary.
+
+        The first eight keys are the *core key set* shared with
+        :meth:`repro.refarch.result.ReferenceResult.summary`, so reports can
+        mix results from both architectures without special-casing either.
+        """
         return {
             "program": self.program,
             "latency": self.latency,
             "total_cycles": self.total_cycles,
             "instructions": self.instructions,
-            "bypass": self.bypass_enabled,
+            "memory_traffic_bytes": self.memory_traffic_bytes,
+            "scalar_cache_hits": self.scalar_cache_hits,
+            "scalar_cache_misses": self.scalar_cache_misses,
             "all_idle_cycles": self.all_idle_cycles,
             "port_idle_fraction": round(self.port_idle_fraction, 4),
-            "memory_traffic_bytes": self.memory_traffic_bytes,
+            "bypass": self.bypass_enabled,
             "bypassed_loads": self.bypassed_loads,
             "max_avdq_occupancy": self.max_avdq_occupancy(),
             "fetch_stall_cycles": self.fetch_stall_cycles,
+        }
+
+    def to_json(self) -> Dict[str, object]:
+        """A JSON-serializable dictionary of everything reports consume.
+
+        The returned value survives a ``json.dumps``/``json.loads`` round trip
+        unchanged; :class:`repro.core.result.RunResult` embeds it verbatim.
+        The AVDQ occupancy histogram is stored as sorted ``[level, cycles]``
+        pairs because JSON objects cannot have integer keys.
+        """
+        return {
+            **self.summary(),
+            "bypassed_bytes": self.bypassed_bytes,
+            "disambiguation_stalls": self.disambiguation_stalls,
+            "instructions_per_processor": dict(self.instructions_per_processor),
+            "mean_avdq_occupancy": round(self.mean_avdq_occupancy(), 4),
+            "avdq_histogram": [
+                [level, cycles] for level, cycles in self.avdq_histogram().items()
+            ],
         }

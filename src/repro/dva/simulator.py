@@ -29,7 +29,7 @@ from repro.dva.fetch import Processor, RoutingDecision, route
 from repro.dva.queues import TimedQueue
 from repro.dva.result import DecoupledResult
 from repro.dva.vector import VectorExecutionResources
-from repro.isa.opcodes import Opcode, OpcodeClass
+from repro.isa.opcodes import Opcode
 from repro.isa.registers import Register, RegisterClass
 from repro.memory.model import MemoryModel
 from repro.trace.record import DynamicInstruction, Trace

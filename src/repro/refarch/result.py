@@ -84,15 +84,36 @@ class ReferenceResult:
             return 0.0
         return self.scalar_cache_hits / accesses
 
-    def summary(self) -> Dict[str, float]:
-        """A flat dictionary of headline numbers, convenient for reports."""
+    def summary(self) -> Dict[str, object]:
+        """A flat dictionary of headline numbers, convenient for reports.
+
+        The first eight keys are the *core key set* shared with
+        :meth:`repro.dva.result.DecoupledResult.summary`, so reports can mix
+        results from both architectures without special-casing either.
+        """
         return {
             "program": self.program,
             "latency": self.latency,
             "total_cycles": self.total_cycles,
             "instructions": self.instructions,
+            "memory_traffic_bytes": self.memory_traffic_bytes,
+            "scalar_cache_hits": self.scalar_cache_hits,
+            "scalar_cache_misses": self.scalar_cache_misses,
             "all_idle_cycles": self.all_idle_cycles,
             "port_idle_fraction": round(self.port_idle_fraction, 4),
-            "memory_traffic_bytes": self.memory_traffic_bytes,
             "scalar_cache_hit_rate": round(self.scalar_cache_hit_rate, 4),
+        }
+
+    def to_json(self) -> Dict[str, object]:
+        """A JSON-serializable dictionary of everything reports consume.
+
+        The returned value survives a ``json.dumps``/``json.loads`` round trip
+        unchanged; :class:`repro.core.result.RunResult` embeds it verbatim.
+        """
+        return {
+            **self.summary(),
+            "vector_instructions": self.vector_instructions,
+            "scalar_instructions": self.scalar_instructions,
+            "dispatch_stall_cycles": self.dispatch_stall_cycles,
+            "category_cycles": dict(self.category_cycles),
         }

@@ -1,0 +1,93 @@
+"""Smoke tests for the ``python -m repro`` command line."""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.core.cli import main
+
+_SRC = os.path.join(os.path.dirname(__file__), os.pardir, os.pardir, "src")
+
+
+class TestInProcess:
+    def test_list_programs(self, capsys):
+        assert main(["list-programs"]) == 0
+        out = capsys.readouterr().out
+        for name in ("ARC2D", "FLO52", "BDNA", "TRFD", "DYFESM", "SPEC77"):
+            assert name in out
+
+    def test_run_prints_json_summary(self, capsys):
+        code = main(
+            ["run", "--program", "trfd", "--arch", "dva",
+             "--latency", "50", "--scale", "0.2"]
+        )
+        assert code == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["architecture"] == "dva"
+        assert summary["program"] == "TRFD"
+        assert summary["latency"] == 50
+        assert summary["total_cycles"] > 0
+
+    def test_sweep_emits_summaries_and_speedup_table(self, capsys):
+        code = main(
+            ["sweep", "--programs", "dyfesm,trfd", "--latencies", "1,50",
+             "--arch", "ref,dva", "--scale", "0.2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "8 cells" in out
+        assert "total_cycles" in out
+        assert "Figure 5" in out and "speedup" in out
+
+    def test_sweep_output_json(self, capsys, tmp_path):
+        output = tmp_path / "sweep.json"
+        code = main(
+            ["sweep", "--programs", "trfd", "--latencies", "1",
+             "--arch", "ref", "--scale", "0.2", "--output", str(output)]
+        )
+        assert code == 0
+        data = json.loads(output.read_text())
+        assert data["spec"]["programs"] == ["TRFD"]
+        assert len(data["results"]) == 1
+
+    def test_figures_writes_artifacts(self, capsys, tmp_path):
+        out_dir = tmp_path / "figs"
+        code = main(
+            ["figures", "--programs", "trfd", "--latencies", "1,100",
+             "--scale", "0.2", "--out-dir", str(out_dir)]
+        )
+        assert code == 0
+        for artifact in (
+            "figure5_speedup.csv",
+            "figure5_speedup_nobypass.csv",
+            "figure6_avdq_occupancy.csv",
+            "section7_bypass.csv",
+            "sweep.json",
+        ):
+            assert (out_dir / artifact).exists(), artifact
+
+    def test_unknown_architecture_exits_with_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "--program", "trfd", "--arch", "vliw"])
+        assert excinfo.value.code == 2
+        assert "unknown architecture" in capsys.readouterr().err
+
+
+class TestSubprocess:
+    def test_python_dash_m_repro(self):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = _SRC + os.pathsep + env.get("PYTHONPATH", "")
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro", "sweep",
+             "--programs", "trfd", "--latencies", "1,50",
+             "--arch", "ref,dva", "--scale", "0.2", "--jobs", "2"],
+            capture_output=True,
+            text=True,
+            env=env,
+            timeout=120,
+        )
+        assert completed.returncode == 0, completed.stderr
+        assert "Figure 5" in completed.stdout

@@ -1,0 +1,107 @@
+"""Unit tests for the figure/table reproduction layer."""
+
+import csv
+import io
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.core import SweepSpec, run_sweep
+from repro.core.figures import (
+    bypass_traffic_table,
+    format_table,
+    queue_occupancy_rows,
+    speedup_curves,
+    speedup_table,
+    write_csv,
+)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return run_sweep(
+        SweepSpec(
+            programs=("dyfesm", "trfd"),
+            latencies=(1, 100),
+            architectures=("ref", "dva", "dva-nobypass"),
+            scale=0.2,
+        )
+    )
+
+
+class TestSpeedup:
+    def test_table_matches_cell_results(self, sweep):
+        rows = speedup_table(sweep)
+        assert len(rows) == 4
+        for row in rows:
+            ref = sweep.get(row["program"], row["latency"], "ref")
+            dva = sweep.get(row["program"], row["latency"], "dva")
+            assert row["ref_cycles"] == ref.total_cycles
+            assert row["dva_cycles"] == dva.total_cycles
+            assert row["speedup"] == pytest.approx(
+                ref.total_cycles / dva.total_cycles, abs=1e-4
+            )
+
+    def test_speedup_grows_with_latency(self, sweep):
+        curves = speedup_curves(sweep)
+        for program, curve in curves.items():
+            assert curve[100] > curve[1], program
+
+    def test_missing_architecture_rejected(self, sweep):
+        with pytest.raises(ConfigurationError, match="does not include"):
+            speedup_table(sweep, target="vmips")
+
+
+class TestQueueOccupancy:
+    def test_histogram_rows_partition_total_cycles(self, sweep):
+        rows = queue_occupancy_rows(sweep)
+        for program in sweep.spec.programs:
+            for latency in sweep.spec.latencies:
+                cell_rows = [
+                    r for r in rows if r["program"] == program and r["latency"] == latency
+                ]
+                total = sweep.get(program, latency, "dva").total_cycles
+                assert sum(r["cycles"] for r in cell_rows) == total
+
+    def test_reference_architecture_rejected(self, sweep):
+        with pytest.raises(ConfigurationError, match="Figure 6"):
+            queue_occupancy_rows(sweep, architecture="ref")
+
+
+class TestBypassTable:
+    def test_rows_report_bypass_savings(self, sweep):
+        rows = bypass_traffic_table(sweep)
+        assert len(rows) == 4
+        for row in rows:
+            assert 0.0 <= row["bypass_load_fraction"] <= 1.0
+            dva = sweep.get(row["program"], row["latency"], "dva")
+            assert row["bypassed_loads"] == dva.detail["bypassed_loads"]
+            assert row["dva_traffic_bytes"] == dva.memory_traffic_bytes
+
+    def test_bypass_reduces_traffic_versus_nobypass(self, sweep):
+        for program in sweep.spec.programs:
+            bypass = sweep.get(program, 1, "dva")
+            nobypass = sweep.get(program, 1, "dva-nobypass")
+            assert bypass.memory_traffic_bytes < nobypass.memory_traffic_bytes
+
+
+class TestRendering:
+    def test_write_csv(self, sweep):
+        buffer = io.StringIO()
+        write_csv(speedup_table(sweep), buffer)
+        parsed = list(csv.DictReader(io.StringIO(buffer.getvalue())))
+        assert len(parsed) == 4
+        assert set(parsed[0]) == {
+            "program", "latency", "ref_cycles", "dva_cycles", "speedup",
+        }
+
+    def test_write_csv_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            write_csv([], io.StringIO())
+
+    def test_format_table(self, sweep):
+        text = format_table(speedup_table(sweep))
+        lines = text.splitlines()
+        assert "speedup" in lines[0]
+        assert len(lines) == 2 + 4  # header + rule + one line per row
+        assert format_table([]) == "(no rows)"

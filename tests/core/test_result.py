@@ -1,0 +1,74 @@
+"""Unit tests for the unified RunResult and the aligned result summaries."""
+
+import json
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.core import RunResult, simulate
+from repro.dva.simulator import simulate_decoupled
+from repro.refarch.simulator import simulate_reference
+from repro.workloads.perfect_club import build_trace
+
+#: The key set both architectures' summaries must share.
+CORE_KEYS = {
+    "program",
+    "latency",
+    "total_cycles",
+    "instructions",
+    "memory_traffic_bytes",
+    "scalar_cache_hits",
+    "scalar_cache_misses",
+}
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return build_trace("TRFD", scale=0.2)
+
+
+class TestSummaryAlignment:
+    def test_core_keys_present_in_both_summaries(self, trace):
+        ref = simulate_reference(trace, latency=10).summary()
+        dva = simulate_decoupled(trace, latency=10).summary()
+        assert CORE_KEYS <= set(ref)
+        assert CORE_KEYS <= set(dva)
+
+    def test_core_keys_agree_between_wrappers_and_results(self, trace):
+        direct = simulate_reference(trace, latency=10)
+        unified = simulate(trace, "ref", latency=10)
+        for key in CORE_KEYS:
+            assert unified.detail[key] == direct.summary()[key]
+
+    def test_result_to_json_round_trips_through_json(self, trace):
+        for payload in (
+            simulate_reference(trace, latency=10).to_json(),
+            simulate_decoupled(trace, latency=10).to_json(),
+        ):
+            assert json.loads(json.dumps(payload)) == payload
+
+
+class TestRunResult:
+    def test_json_round_trip(self, trace):
+        for arch in ("ref", "dva"):
+            result = simulate(trace, arch, latency=50)
+            rebuilt = RunResult.from_json(json.loads(json.dumps(result.to_json())))
+            assert rebuilt == result
+
+    def test_summary_carries_architecture(self, trace):
+        summary = simulate(trace, "dva", latency=1).summary()
+        assert summary["architecture"] == "dva"
+        assert summary["program"] == "TRFD"
+
+    def test_speedup_over(self, trace):
+        ref = simulate(trace, "ref", latency=100)
+        dva = simulate(trace, "dva", latency=100)
+        assert dva.speedup_over(ref) == pytest.approx(
+            ref.total_cycles / dva.total_cycles
+        )
+
+    def test_speedup_rejects_mismatched_cells(self, trace):
+        fast = simulate(trace, "ref", latency=1)
+        slow = simulate(trace, "dva", latency=100)
+        with pytest.raises(SimulationError, match="same cell"):
+            slow.speedup_over(fast)

@@ -1,0 +1,134 @@
+"""Unit tests for SweepSpec, the Runner and sweep determinism."""
+
+import json
+
+import pytest
+
+from repro.common.errors import ConfigurationError, WorkloadError
+from repro.core import Experiment, RunConfig, Runner, SweepSpec, run_sweep
+from repro.core.experiment import SweepCell, SweepResult
+from repro.refarch.config import ReferenceConfig
+
+SPEC = SweepSpec(
+    programs=("dyfesm", "trfd"),
+    latencies=(1, 50),
+    architectures=("ref", "dva"),
+    scale=0.2,
+)
+
+
+class TestSweepSpec:
+    def test_normalization(self):
+        assert SPEC.programs == ("DYFESM", "TRFD")
+        assert SPEC.architectures == ("ref", "dva")
+
+    def test_cells_in_program_major_order(self):
+        cells = list(SPEC.cells())
+        assert len(cells) == len(SPEC) == 8
+        assert cells[0] == SweepCell("DYFESM", 1, "ref")
+        assert cells[-1] == SweepCell("TRFD", 50, "dva")
+
+    def test_from_strings(self):
+        parsed = SweepSpec.from_strings("dyfesm, trfd", "1, 50", "ref,dva", scale=0.2)
+        assert parsed == SPEC
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"programs": ()},
+            {"latencies": ()},
+            {"architectures": ()},
+            {"latencies": (-1,)},
+            {"scale": 0.0},
+        ],
+    )
+    def test_invalid_specs_rejected(self, kwargs):
+        base = {
+            "programs": ("trfd",),
+            "latencies": (1,),
+            "architectures": ("ref",),
+            "scale": 1.0,
+        }
+        with pytest.raises(ConfigurationError):
+            SweepSpec(**{**base, **kwargs})
+
+
+class TestRunner:
+    def test_unknown_architecture_fails_before_running(self):
+        spec = SweepSpec(programs=("trfd",), latencies=(1,), architectures=("vliw",))
+        with pytest.raises(ConfigurationError, match="unknown architecture"):
+            Runner().run(spec)
+
+    def test_unknown_program_fails_before_running(self):
+        spec = SweepSpec(programs=("nosuch",), latencies=(1,))
+        with pytest.raises(WorkloadError, match="unknown benchmark"):
+            Runner().run(spec)
+
+    def test_results_follow_cell_order(self):
+        sweep = run_sweep(SPEC)
+        assert [r.cell_key for r in sweep] == [
+            (c.program, c.latency, c.architecture) for c in SPEC.cells()
+        ]
+
+    def test_trace_cache_builds_each_program_once(self):
+        runner = Runner()
+        runner.run(SPEC)
+        assert len(runner.trace_cache) == 2
+        runner.run(SPEC)  # second run reuses the cached traces
+        assert len(runner.trace_cache) == 2
+
+    def test_sweep_determinism(self):
+        first = run_sweep(SPEC)
+        second = run_sweep(SPEC)
+        assert first.results == second.results
+        assert first.summaries() == second.summaries()
+
+    def test_serial_and_multiprocess_runs_are_identical(self):
+        serial = Runner(jobs=1).run(SPEC)
+        parallel = Runner(jobs=2).run(SPEC)
+        assert serial.results == parallel.results
+
+    def test_invalid_job_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Runner(jobs=0)
+
+
+class TestSweepResult:
+    def test_get_and_missing_cell(self):
+        sweep = run_sweep(SPEC)
+        cell = sweep.get("dyfesm", 50, "DVA")
+        assert cell.cell_key == ("DYFESM", 50, "dva")
+        with pytest.raises(ConfigurationError, match="no cell"):
+            sweep.get("dyfesm", 999, "dva")
+
+    def test_by_architecture(self):
+        sweep = run_sweep(SPEC)
+        refs = sweep.by_architecture("ref")
+        assert len(refs) == 4
+        assert all(r.architecture == "ref" for r in refs)
+
+    def test_json_round_trip(self):
+        sweep = run_sweep(SPEC)
+        rebuilt = SweepResult.from_json(json.loads(json.dumps(sweep.to_json())))
+        assert rebuilt.spec == sweep.spec
+        assert rebuilt.results == sweep.results
+
+
+class TestExperiment:
+    def test_base_config_applies_to_every_cell(self):
+        spec = SweepSpec(programs=("dyfesm",), latencies=(50,), architectures=("ref",))
+        default = Experiment(spec).run()
+        chained = Experiment(
+            spec, config=RunConfig(reference=ReferenceConfig(allow_load_chaining=True))
+        ).run()
+        assert (
+            chained.get("dyfesm", 50, "ref").total_cycles
+            < default.get("dyfesm", 50, "ref").total_cycles
+        )
+
+    def test_experiment_accepts_shared_runner(self):
+        runner = Runner()
+        first = Experiment(SPEC).run(runner=runner)
+        second = Experiment(SPEC).run(runner=runner)
+        assert first.results == second.results
+        assert len(runner.trace_cache) == 2

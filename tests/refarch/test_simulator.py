@@ -3,10 +3,10 @@
 import pytest
 
 from repro.common.errors import SimulationError
+from repro.core import simulate as core_simulate
 from repro.isa.opcodes import Opcode
 from repro.isa.registers import s_reg, v_reg
-from repro.memory.model import MemoryModel
-from repro.refarch import ReferenceConfig, ReferenceSimulator, simulate_reference
+from repro.refarch import ReferenceConfig, simulate_reference
 from repro.trace.record import DynamicInstruction, Trace
 from repro.isa.instruction import make_instruction
 
@@ -232,9 +232,8 @@ class TestValidation:
         instruction = make_instruction(Opcode.QMOV_V_LOAD, destinations=[v_reg(0)])
         trace = Trace(name="bad")
         trace.append(DynamicInstruction(instruction=instruction, sequence=0))
-        simulator = ReferenceSimulator(MemoryModel(latency=1))
         with pytest.raises(SimulationError):
-            simulator.run(trace)
+            core_simulate(trace, "ref", latency=1)
 
     def test_empty_trace(self):
         result = simulate_reference(Trace(name="empty"), latency=10)
