@@ -1,9 +1,9 @@
 """Pytest bootstrap: make ``src/`` importable without an installed package.
 
-The library is normally installed with ``pip install -e .`` (or
-``python setup.py develop`` on fully offline machines without the ``wheel``
-package).  Inserting ``src/`` here as a fallback lets ``pytest`` run straight
-from a fresh checkout as well.
+The library is normally installed with ``pip install -e .`` (metadata lives
+in ``pyproject.toml``).  Inserting ``src/`` here as a fallback lets
+``pytest`` run straight from a fresh checkout — including fully offline
+machines where an editable install is not possible at all.
 """
 
 import sys

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Regenerate the golden-equivalence snapshot in tests/golden/golden_cycles.json.
+
+The snapshot pins ``total_cycles`` and the key stall counters of every cell of
+the grid (six Perfect Club programs x latencies {1, 50, 100} x the paper's
+three machines).  It was generated from the pre-engine seed simulators and
+must NOT be regenerated casually: the whole point of the file is that the
+engine-based simulators reproduce the seed timing exactly.  Regenerate only
+when a deliberate, reviewed timing-model change makes the old numbers wrong:
+
+    PYTHONPATH=src python scripts/make_golden.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "src"))
+
+from repro import Runner, SweepSpec  # noqa: E402
+
+PROGRAMS = ("ARC2D", "BDNA", "DYFESM", "FLO52", "SPEC77", "TRFD")
+LATENCIES = (1, 50, 100)
+ARCHITECTURES = ("ref", "dva", "dva-nobypass")
+
+# Stall/headline counters pinned per architecture, beyond total_cycles.
+COMMON_KEYS = ("instructions", "memory_traffic_bytes",
+               "scalar_cache_hits", "scalar_cache_misses")
+REF_KEYS = ("dispatch_stall_cycles",)
+DVA_KEYS = ("fetch_stall_cycles", "disambiguation_stalls", "bypassed_loads")
+
+
+def snapshot_keys(architecture: str) -> tuple:
+    extra = REF_KEYS if architecture.startswith("ref") else DVA_KEYS
+    return ("total_cycles",) + COMMON_KEYS + extra
+
+
+def main() -> int:
+    spec = SweepSpec(
+        programs=PROGRAMS, latencies=LATENCIES, architectures=ARCHITECTURES
+    )
+    sweep = Runner(jobs=1).run(spec)
+    cells = {}
+    for result in sweep:
+        key = f"{result.program}/{result.latency}/{result.architecture}"
+        cells[key] = {
+            name: result.detail[name] for name in snapshot_keys(result.architecture)
+        }
+
+    destination = os.path.join(
+        os.path.dirname(__file__), os.pardir, "tests", "golden", "golden_cycles.json"
+    )
+    os.makedirs(os.path.dirname(destination), exist_ok=True)
+    payload = {
+        "spec": {
+            "programs": list(PROGRAMS),
+            "latencies": list(LATENCIES),
+            "architectures": list(ARCHITECTURES),
+        },
+        "cells": cells,
+    }
+    with open(destination, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {os.path.normpath(destination)} ({len(cells)} cells)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

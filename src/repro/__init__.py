@@ -9,6 +9,8 @@ contribution:
   vectorizing compiler.
 * :mod:`repro.memory` — memory latency model, scalar cache and vector memory
   disambiguation.
+* :mod:`repro.engine` — the shared timing kernel (register scoreboard,
+  resource pools, stall accounting, memory fabric) both machines build on.
 * :mod:`repro.refarch` — the reference (non-decoupled) vector architecture.
 * :mod:`repro.dva` — the decoupled vector architecture with load/store queues
   and the store→load bypass.
@@ -37,7 +39,7 @@ from repro.core import (
     simulate,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Experiment",

@@ -2,7 +2,9 @@
 
 Four subcommands drive the experiment API end to end:
 
-* ``list-programs`` — the available Perfect Club program models.
+* ``list-programs`` — the available Perfect Club program models and the
+  registered architectures they can run on.
+* ``list-archs`` — the registered architectures with their descriptions.
 * ``run`` — simulate one (program, architecture, latency) cell.
 * ``sweep`` — execute a declarative grid and print per-cell summaries plus a
   Figure 5-style speedup table.
@@ -38,6 +40,11 @@ def build_parser() -> argparse.ArgumentParser:
         "list-programs", help="list the available benchmark program models"
     )
     list_parser.set_defaults(handler=_cmd_list_programs)
+
+    archs_parser = subparsers.add_parser(
+        "list-archs", help="list the registered architectures"
+    )
+    archs_parser.set_defaults(handler=_cmd_list_archs)
 
     run_parser = subparsers.add_parser(
         "run", help="simulate one program on one architecture"
@@ -125,6 +132,14 @@ def _cmd_list_programs(args: argparse.Namespace) -> int:
     for name in program_names():
         model = load_program(name)
         print(f"{name:8s} {model.description}")
+    print(f"\narchitectures: {', '.join(architecture_names())}")
+    return 0
+
+
+def _cmd_list_archs(args: argparse.Namespace) -> int:
+    width = max(len(name) for name in architecture_names())
+    for name in architecture_names():
+        print(f"{name:{width}s}  {architecture(name).description}")
     return 0
 
 

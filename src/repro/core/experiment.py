@@ -8,14 +8,22 @@ every cell either serially or across a ``multiprocessing`` pool.
 
 Trace generation is the repeated cost across cells (every latency and
 architecture of one program re-simulates the same trace), so the runner builds
-each program's trace exactly once: the serial path keeps a per-runner
-:class:`TraceCache`, and the parallel path ships one task per program whose
-worker builds the trace once and sweeps all of that program's cells.
+each program's trace at most once per process: the serial path keeps a
+per-runner :class:`TraceCache`, and pool workers keep a process-local cache
+that is seeded copy-on-write with whatever the parent had already built when
+the pool forked and fills lazily otherwise — never per cell.  Workers also
+run with the cyclic garbage collector off (they only run simulation batches,
+and the simulators allocate heavily), collecting once per batch instead of
+continuously.
 """
 
 from __future__ import annotations
 
+import gc
 import multiprocessing
+import multiprocessing.pool
+import os
+import sys
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
@@ -122,6 +130,17 @@ class TraceCache:
             self._traces[key] = trace
         return trace
 
+    def entries(self) -> Dict[Tuple[str, float], Trace]:
+        """A snapshot of everything cached so far."""
+        return dict(self._traces)
+
+    def seed(self, entries: Dict[Tuple[str, float], Trace]) -> None:
+        """Adopt already-built traces (used to hand a cache across processes)."""
+        self._traces.update(entries)
+
+    def clear(self) -> None:
+        self._traces.clear()
+
     def __len__(self) -> int:
         return len(self._traces)
 
@@ -136,10 +155,31 @@ def _run_cells(
     ]
 
 
+# Per-process trace cache used by pool workers.  The parent seeds it right
+# before the pool forks, so fork-started workers inherit the parent's traces
+# copy-on-write; anything missing (spawn start method, or sweeps run after
+# the pool was created) is built once per worker and cached for the pool's
+# whole lifetime.
+_WORKER_CACHE = TraceCache()
+
+
+def _worker_init() -> None:
+    """Initialize one pool worker: cyclic GC off.
+
+    Pool workers only ever run simulation batches, so they trade the cyclic
+    garbage collector's continuous scanning for one collection at the end of
+    each batch — the simulators allocate heavily, and the worker's heap is
+    bounded by the batch either way.  Traces are not built here: each worker
+    builds (or, under fork, inherits) them on first use, so workers never
+    pay for programs they are not assigned.
+    """
+    gc.disable()
+
+
 def _run_program_cells(
     task: Tuple[str, float, Sequence[Tuple[int, Simulator]], RunConfig]
 ) -> List[RunResult]:
-    """Worker: build one program's trace, then sweep its cells.
+    """Worker: sweep one batch of a program's cells over its cached trace.
 
     Module-level so ``multiprocessing`` can pickle it under both the fork and
     spawn start methods.  The task carries the resolved :class:`Simulator`
@@ -147,26 +187,76 @@ def _run_program_cells(
     in workers too — provided the simulator object itself pickles.
     """
     program, scale, pairs, config = task
-    trace = load_program(program).build_trace(scale=scale)
-    return _run_cells(trace, pairs, config)
+    trace = _WORKER_CACHE.get(program, scale)
+    try:
+        return _run_cells(trace, pairs, config)
+    finally:
+        if not gc.isenabled():
+            gc.collect()
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    """Fork on Linux (traces inherit copy-on-write), platform default elsewhere."""
+    if sys.platform.startswith("linux") and "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+def _available_parallelism() -> int:
+    """CPUs this process may actually run on (affinity-aware where possible)."""
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except AttributeError:  # pragma: no cover - non-Linux platforms
+        return os.cpu_count() or 1
+
+
+def _chunked(
+    pairs: Sequence[Tuple[int, Simulator]], chunks: int
+) -> List[Sequence[Tuple[int, Simulator]]]:
+    """Split ``pairs`` into at most ``chunks`` contiguous, order-preserving runs."""
+    chunks = max(1, min(chunks, len(pairs)))
+    size = -(-len(pairs) // chunks)
+    return [pairs[index:index + size] for index in range(0, len(pairs), size)]
 
 
 class Runner:
-    """Executes sweep grids, serially or across a process pool.
+    """Executes sweep grids, serially or across a persistent process pool.
 
-    ``jobs=1`` runs in-process against a shared :class:`TraceCache`;
-    ``jobs>1`` distributes one task per program over a ``multiprocessing``
-    pool (workers build their program's trace themselves, so the parent's
-    cache is not populated).  Both paths produce identical results in
-    identical order — the simulators are deterministic and each cell is
-    independent — which the test suite asserts.
+    ``jobs`` is a ceiling, not a demand: the runner never uses more workers
+    than the machine can actually run in parallel, so asking for ``jobs=2``
+    on a one-CPU host degrades gracefully to the in-process serial path
+    instead of paying pool and scheduling overhead for no speedup (pass
+    ``adaptive=False`` to force the pool regardless, e.g. to test it).
+
+    The serial path runs in-process against a shared :class:`TraceCache`.
+    The parallel path distributes batches of cells over a ``multiprocessing``
+    pool that is created on the first parallel run and reused for the
+    runner's lifetime, so repeated sweeps pay for worker startup and trace
+    building once: fork-started workers inherit whatever traces the parent
+    had already built, and build anything else lazily, once per worker.
+    When the grid has fewer programs than workers, each program's cells are
+    split into chunks so every worker gets work.  Both paths produce
+    identical results in identical order — the simulators are deterministic
+    and each cell is independent — which the test suite asserts.
+
+    The pool is released by :meth:`close`, by using the runner as a context
+    manager, or at garbage collection.
     """
 
-    def __init__(self, jobs: int = 1) -> None:
+    def __init__(self, jobs: int = 1, adaptive: bool = True) -> None:
         if jobs < 1:
             raise ConfigurationError("runner needs at least one job")
         self.jobs = jobs
+        self.adaptive = adaptive
         self.trace_cache = TraceCache()
+        self._pool: Optional[multiprocessing.pool.Pool] = None
+
+    @property
+    def effective_jobs(self) -> int:
+        """Workers the runner will actually use for a parallel sweep."""
+        if self.adaptive:
+            return min(self.jobs, _available_parallelism())
+        return self.jobs
 
     def run(self, spec: SweepSpec, config: Optional[RunConfig] = None) -> "SweepResult":
         """Execute every cell of ``spec`` and collect the results."""
@@ -181,20 +271,96 @@ class Runner:
             for latency in spec.latencies
             for arch in spec.architectures
         ]
-        tasks = [(program, spec.scale, pairs, config) for program in spec.programs]
 
-        if self.jobs == 1 or len(spec.programs) == 1:
-            per_program = [
-                _run_cells(self.trace_cache.get(program, scale), task_pairs, task_config)
-                for program, scale, task_pairs, task_config in tasks
-            ]
+        if self.effective_jobs == 1 or len(pairs) * len(spec.programs) == 1:
+            per_batch = self._run_serial(spec, pairs, config)
         else:
-            workers = min(self.jobs, len(tasks))
-            with multiprocessing.Pool(processes=workers) as pool:
-                per_program = pool.map(_run_program_cells, tasks)
+            per_batch = self._run_parallel(spec, pairs, config)
 
-        results = [result for program_results in per_program for result in program_results]
+        results = [result for batch in per_batch for result in batch]
         return SweepResult(spec=spec, results=results)
+
+    def _run_serial(
+        self,
+        spec: SweepSpec,
+        pairs: Sequence[Tuple[int, Simulator]],
+        config: RunConfig,
+    ) -> List[List[RunResult]]:
+        """Run every batch in-process.
+
+        A runner asked for more than one job is in batch-throughput mode even
+        when the machine caps it to in-process execution, so it simulates the
+        way the pool workers do: cyclic GC paused during each batch and a
+        collection between batches (the caller's GC state is restored after).
+        """
+        traces = [self.trace_cache.get(program, spec.scale) for program in spec.programs]
+        throughput_mode = self.jobs > 1 and gc.isenabled()
+        if throughput_mode:
+            gc.disable()
+        try:
+            per_batch = []
+            for trace in traces:
+                per_batch.append(_run_cells(trace, pairs, config))
+                if throughput_mode:
+                    gc.collect()
+            return per_batch
+        finally:
+            if throughput_mode:
+                gc.enable()
+
+    def _run_parallel(
+        self,
+        spec: SweepSpec,
+        pairs: Sequence[Tuple[int, Simulator]],
+        config: RunConfig,
+    ) -> List[List[RunResult]]:
+        """Distribute the grid over the worker pool, one task per cell batch."""
+        chunks_per_program = -(-self.effective_jobs // len(spec.programs))
+        tasks = [
+            (program, spec.scale, chunk, config)
+            for program in spec.programs
+            for chunk in _chunked(pairs, chunks_per_program)
+        ]
+        return self._ensure_pool().map(_run_program_cells, tasks)
+
+    def _ensure_pool(self) -> multiprocessing.pool.Pool:
+        """The persistent worker pool, created on first use.
+
+        Traces the parent has already built (e.g. by an earlier serial run of
+        this runner) are exposed to fork-started workers copy-on-write; every
+        other trace is built lazily, once per worker that needs it, so a cold
+        multi-program sweep builds its traces in parallel across workers.
+        """
+        if self._pool is None:
+            _WORKER_CACHE.seed(self.trace_cache.entries())
+            try:
+                self._pool = _pool_context().Pool(
+                    processes=self.effective_jobs, initializer=_worker_init
+                )
+            finally:
+                # The parent-side copies have served their purpose (the pool
+                # has forked); worker-side caches live in the workers.
+                _WORKER_CACHE.clear()
+        return self._pool
+
+    def close(self) -> None:
+        """Release the worker pool (idempotent; the runner stays usable)."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "Runner":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter-dependent
+        try:
+            self.close()
+        except Exception:
+            pass
 
 
 @dataclass

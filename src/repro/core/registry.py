@@ -9,8 +9,10 @@ result types).  This module hides both behind one shape::
 
 Architectures are looked up by name in a process-wide registry seeded with the
 paper's three machines — ``"ref"``, ``"dva"`` (store→load bypass enabled,
-paper §7) and ``"dva-nobypass"`` (the §5 baseline decoupled machine) — and
-extensible through :func:`register_architecture` for ablation studies.
+paper §7) and ``"dva-nobypass"`` (the §5 baseline decoupled machine) — plus
+two engine-derived variants, ``"ref-2lane"`` (two-lane vector unit) and
+``"dva-2port"`` (dual memory port), and is extensible through
+:func:`register_architecture` for ablation studies.
 """
 
 from __future__ import annotations
@@ -46,14 +48,23 @@ class Simulator(Protocol):
 
 @dataclass(frozen=True)
 class ReferenceArchitecture:
-    """Adapter exposing :class:`ReferenceSimulator` through the protocol."""
+    """Adapter exposing :class:`ReferenceSimulator` through the protocol.
+
+    ``lanes`` and ``memory_ports`` pin the machine's datapath width so that
+    registry names always mean what they say (``"ref"`` is the paper's
+    one-lane, one-port machine; ``"ref-2lane"`` has a two-lane vector unit);
+    every other reference parameter is taken from the run configuration.
+    """
 
     name: str = "ref"
     description: str = "reference in-order vector machine (paper §2.1)"
+    lanes: int = 1
+    memory_ports: int = 1
 
     def simulate(self, trace: Trace, config: RunConfig) -> RunResult:
+        reference = config.reference.with_variant(self.lanes, self.memory_ports)
         simulator = ReferenceSimulator(
-            MemoryModel(latency=config.latency), config=config.reference
+            MemoryModel(latency=config.latency), config=reference
         )
         return RunResult.from_reference(simulator.run(trace), architecture=self.name)
 
@@ -65,15 +76,21 @@ class DecoupledArchitecture:
     ``bypass`` pins the store→load bypass setting regardless of what the
     caller's :class:`~repro.dva.config.DecoupledConfig` says, so that the
     registry names ``"dva"`` and ``"dva-nobypass"`` always mean what they say;
-    every other decoupled parameter is taken from the run configuration.
+    ``lanes`` and ``memory_ports`` pin the datapath width the same way
+    (``"dva-2port"`` has two memory ports).  Every other decoupled parameter
+    is taken from the run configuration.
     """
 
     name: str = "dva"
     description: str = "decoupled vector machine with store→load bypass (paper §7)"
     bypass: bool = True
+    lanes: int = 1
+    memory_ports: int = 1
 
     def simulate(self, trace: Trace, config: RunConfig) -> RunResult:
-        decoupled = config.decoupled.with_bypass(self.bypass)
+        decoupled = config.decoupled.with_bypass(self.bypass).with_variant(
+            self.lanes, self.memory_ports
+        )
         simulator = DecoupledSimulator(
             MemoryModel(latency=config.latency), config=decoupled
         )
@@ -118,9 +135,12 @@ def architecture(name: str) -> Simulator:
         ) from exc
 
 
+_BUILTIN_ORDER = ("ref", "dva", "dva-nobypass", "ref-2lane", "dva-2port")
+
+
 def architecture_names() -> List[str]:
     """Registered architecture names, built-ins first."""
-    builtin = [name for name in ("ref", "dva", "dva-nobypass") if name in _REGISTRY]
+    builtin = [name for name in _BUILTIN_ORDER if name in _REGISTRY]
     extensions = sorted(set(_REGISTRY) - set(builtin))
     return builtin + extensions
 
@@ -150,5 +170,21 @@ register_architecture(
         name="dva-nobypass",
         description="decoupled vector machine without the bypass (paper §5)",
         bypass=False,
+    )
+)
+# Engine-derived variants: one configuration knob over the shared
+# ResourcePool/MemoryFabric primitives, not new simulators.
+register_architecture(
+    ReferenceArchitecture(
+        name="ref-2lane",
+        description="reference machine with a two-lane vector unit",
+        lanes=2,
+    )
+)
+register_architecture(
+    DecoupledArchitecture(
+        name="dva-2port",
+        description="decoupled machine (bypass on) with two memory ports",
+        memory_ports=2,
     )
 )

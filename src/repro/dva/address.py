@@ -3,7 +3,8 @@
 This module models everything that sits between the address processor and
 main memory in the decoupled architecture (paper §4.2):
 
-* the single pipelined memory port with its shared address bus,
+* the pipelined memory port (a :class:`~repro.engine.MemoryFabric` port pool,
+  one unit in the paper's machine) with its shared address bus,
 * the two-step store mechanism: store addresses wait in the VSAQ/SSAQ until
   the matching data arrives in the VADQ/SADQ, after which the store is
   performed "behind the back" of the AP,
@@ -13,18 +14,20 @@ main memory in the decoupled architecture (paper §4.2):
 * the store→load bypass (§7): a load identical to a queued vector store is
   serviced by copying the data from the VADQ into the AVDQ in VL cycles,
   without using the memory port and without paying memory latency,
-* the scalar cache that filters scalar references away from the port.
+* the scalar cache that filters scalar references away from the port (wired
+  inside the fabric, shared with the reference machine's wiring).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.common.errors import SimulationError
 from repro.common.intervals import IntervalRecorder
 from repro.dva.config import DecoupledConfig
 from repro.dva.queues import TimedQueue
+from repro.engine import MemoryFabric, ResourcePool
 from repro.memory.model import MemoryModel
 from repro.memory.ranges import MemoryRange, accesses_identical, range_of_access
 from repro.memory.scalar_cache import ScalarCache
@@ -72,7 +75,12 @@ class MemoryPipeline:
     def __init__(self, memory: MemoryModel, config: DecoupledConfig) -> None:
         self.memory = memory
         self.config = config
-        self.cache = ScalarCache(config.scalar_cache)
+        self.fabric = MemoryFabric(
+            memory,
+            config.scalar_cache,
+            ports=config.memory_ports,
+            scalar_store_writes_through=config.scalar_store_writes_through,
+        )
 
         queues = config.queues
         self.vsaq = TimedQueue("VSAQ", queues.effective_vector_store_address)
@@ -82,19 +90,52 @@ class MemoryPipeline:
         self.avdq = TimedQueue("AVDQ", queues.vector_load_data)
         self.asdq = TimedQueue("ASDQ", queues.scalar_data)
 
-        self.port = IntervalRecorder("LD")
-        self.bypass_unit = IntervalRecorder("BYPASS")
-        self.port_free = 0
-        self.bypass_free = 0
+        self.bypass = ResourcePool("BYPASS")
 
         self.pending_stores: List[PendingStore] = []
         self._next_undrained = 0
 
-        self.traffic_bytes = 0
         self.bypassed_loads = 0
         self.bypassed_bytes = 0
         self.disambiguation_stalls = 0
         self.forced_drains = 0
+
+    # -- fabric views ------------------------------------------------------------------
+
+    @property
+    def cache(self) -> ScalarCache:
+        return self.fabric.cache
+
+    @property
+    def port(self) -> IntervalRecorder:
+        return self.fabric.port_recorder()
+
+    @property
+    def port_free(self) -> int:
+        """Earliest cycle the next reference could claim a port."""
+        return self.fabric.port_free()
+
+    @property
+    def port_quiet(self) -> int:
+        """Cycle at which every port has finished its last reference.
+
+        Identical to :attr:`port_free` on a single-port machine; on a
+        multi-port machine the wind-down must wait for the *slowest* port,
+        not the first free one.
+        """
+        return self.fabric.port_quiet()
+
+    @property
+    def traffic_bytes(self) -> int:
+        return self.fabric.traffic_bytes
+
+    @property
+    def bypass_unit(self) -> IntervalRecorder:
+        return self.bypass.recorder()
+
+    @property
+    def bypass_free(self) -> int:
+        return self.bypass.free_time()
 
     # -- store bookkeeping -------------------------------------------------------------
 
@@ -203,28 +244,20 @@ class MemoryPipeline:
             requested = max(requested, self._drain_through(conflict_index))
             self.disambiguation_stalls += 1
 
-        if record.base_address is None:
-            raise SimulationError(f"scalar load without an address: {record}")
-        hit = self.cache.access(record.base_address)
-        if hit:
-            return requested + self.config.scalar_cache.hit_latency
+        access = self.fabric.scalar_access(record)
+        if access.hit:
+            return self.fabric.scalar_load_ready(access, requested)
 
         self._drain_ready_stores(requested)
-        bus_start = max(self.port_free, requested)
-        bus_end = bus_start + self.memory.timings.scalar_bus_cycles
-        self.port.record(bus_start, bus_end)
-        self.port_free = bus_end
-        self.traffic_bytes += self.memory.traffic_bytes(record)
-        return bus_start + 1 + self.memory.latency
+        bus_start, _bus_end = self.fabric.occupy_scalar_bus(requested, record)
+        return self.fabric.scalar_load_ready(access, bus_start)
 
     def _bypass_load(
         self, record: DynamicInstruction, requested: int, store: PendingStore
     ) -> VectorLoadOutcome:
-        start = max(requested, self.bypass_free, store.ready)
         length = max(record.vector_length, 1)
+        start, _unit = self.bypass.acquire(max(requested, store.ready), length)
         end = start + length
-        self.bypass_unit.record(start, end)
-        self.bypass_free = end
         self.bypassed_loads += 1
         self.bypassed_bytes += record.bytes_accessed
         store.bypassed_to_loads += 1
@@ -234,12 +267,7 @@ class MemoryPipeline:
         self, record: DynamicInstruction, requested: int
     ) -> VectorLoadOutcome:
         self._drain_ready_stores(requested)
-        bus_start = max(self.port_free, requested)
-        bus_cycles = self.memory.bus_occupancy(record)
-        bus_end = bus_start + bus_cycles
-        self.port.record(bus_start, bus_end)
-        self.port_free = bus_end
-        self.traffic_bytes += self.memory.traffic_bytes(record)
+        bus_start, _bus_end = self.fabric.occupy_vector_bus(requested, record)
         data_ready = self.memory.load_complete(record, bus_start)
         return VectorLoadOutcome(start=bus_start, data_ready=data_ready, bypassed=False)
 
@@ -274,7 +302,8 @@ class MemoryPipeline:
             store = self.pending_stores[self._next_undrained]
             if store.data_ready is None:
                 break
-            if max(self.port_free, store.ready) > max(self.port_free, candidate_start):
+            port_free = self.port_free
+            if max(port_free, store.ready) > max(port_free, candidate_start):
                 break
             self._drain_oldest()
 
@@ -289,11 +318,7 @@ class MemoryPipeline:
             return store.drain_end
         ready = store.ready
         if store.is_vector:
-            bus_start = max(self.port_free, ready)
-            bus_end = bus_start + self.memory.bus_occupancy(store.record)
-            self.port.record(bus_start, bus_end)
-            self.port_free = bus_end
-            self.traffic_bytes += self.memory.traffic_bytes(store.record)
+            _bus_start, bus_end = self.fabric.occupy_vector_bus(ready, store.record)
             self.vsaq.pop(bus_end)
             self.vadq.pop(bus_end)
             store.drain_end = bus_end
@@ -303,17 +328,9 @@ class MemoryPipeline:
         return store.drain_end
 
     def _perform_scalar_store(self, store: PendingStore, ready: int) -> int:
-        if store.record.base_address is None:
-            raise SimulationError(f"scalar store without an address: {store.record}")
-        hit = self.cache.access(store.record.base_address)
-        uses_port = self.config.scalar_store_writes_through or not hit
-        if uses_port:
-            bus_start = max(self.port_free, ready)
-            bus_end = bus_start + self.memory.timings.scalar_bus_cycles
-            self.port.record(bus_start, bus_end)
-            self.port_free = bus_end
-            self.traffic_bytes += self.memory.traffic_bytes(store.record)
-            end = bus_end
+        access = self.fabric.scalar_access(store.record)
+        if access.uses_port:
+            _bus_start, end = self.fabric.occupy_scalar_bus(ready, store.record)
         else:
             end = ready + 1
         self.ssaq.pop(end)
@@ -324,7 +341,7 @@ class MemoryPipeline:
 
     def drain_all(self) -> int:
         """Perform every store still sitting in the queues; return the last cycle."""
-        finish = self.port_free
+        finish = self.port_quiet
         while self._next_undrained < len(self.pending_stores):
             finish = max(finish, self._drain_oldest())
         return finish

@@ -67,6 +67,10 @@ class DecoupledConfig:
         scalar_cache: geometry of the scalar cache in front of the AP.
         scalar_store_writes_through: when ``True`` scalar stores always use
             the memory port.
+        lanes: parallel lanes per vector functional unit; a length-VL
+            operation occupies its unit for ``ceil(VL / lanes)`` cycles.
+        memory_ports: identical memory-port units sharing the address bus;
+            references pick the least-loaded port.
     """
 
     queues: QueueSizes = field(default_factory=QueueSizes)
@@ -78,6 +82,8 @@ class DecoupledConfig:
     cross_processor_delay: int = 1
     scalar_cache: ScalarCacheConfig = field(default_factory=ScalarCacheConfig)
     scalar_store_writes_through: bool = False
+    lanes: int = 1
+    memory_ports: int = 1
 
     def __post_init__(self) -> None:
         if self.qmov_units <= 0:
@@ -88,12 +94,20 @@ class DecoupledConfig:
             raise ConfigurationError("fetch width must be positive")
         if self.cross_processor_delay < 0:
             raise ConfigurationError("cross-processor delay cannot be negative")
+        if self.lanes <= 0:
+            raise ConfigurationError("a vector unit needs at least one lane")
+        if self.memory_ports <= 0:
+            raise ConfigurationError("the machine needs at least one memory port")
 
     # -- convenience constructors --------------------------------------------------
 
     def with_bypass(self, enabled: bool = True) -> "DecoupledConfig":
         """A copy of this configuration with bypassing switched on or off."""
         return replace(self, enable_bypass=enabled)
+
+    def with_variant(self, lanes: int, memory_ports: int) -> "DecoupledConfig":
+        """A copy of this configuration with different lane/port counts."""
+        return replace(self, lanes=lanes, memory_ports=memory_ports)
 
     def with_queue_sizes(
         self,

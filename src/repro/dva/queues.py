@@ -14,7 +14,7 @@ timestamp arithmetic:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.common.errors import SimulationError

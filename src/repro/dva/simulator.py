@@ -10,16 +10,19 @@ behaviour of the bounded queues reduces to timestamp arithmetic handled by
 :class:`~repro.dva.queues.TimedQueue`, and a single pass reproduces the timing
 a cycle-stepped simulation would give.
 
-The decoupling (and its limits) emerge from the timestamps: the address
-processor is free to run ahead of the vector processor because nothing it does
-waits for vector computation — until it meets a full queue, a memory hazard
-against a queued store, or a scalar value that the slower side has not
-produced yet (the DYFESM lockstep case of paper §5).
+The timing machinery — the owner-aware register scoreboard, the per-processor
+issue pointers, the functional-unit/QMOV/port pools, fetch-stall accounting
+and the completion horizon — is the shared :mod:`repro.engine` kernel; this
+module contributes only the issue rules of the four processors.  The
+decoupling (and its limits) emerge from the timestamps: the address processor
+is free to run ahead of the vector processor because nothing it does waits
+for vector computation — until it meets a full queue, a memory hazard against
+a queued store, or a scalar value that the slower side has not produced yet
+(the DYFESM lockstep case of paper §5).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, Optional
 
 from repro.common.errors import SimulationError
@@ -29,19 +32,11 @@ from repro.dva.fetch import Processor, RoutingDecision, route
 from repro.dva.queues import TimedQueue
 from repro.dva.result import DecoupledResult
 from repro.dva.vector import VectorExecutionResources
+from repro.engine import TimingCore
 from repro.isa.opcodes import Opcode
 from repro.isa.registers import Register, RegisterClass
 from repro.memory.model import MemoryModel
 from repro.trace.record import DynamicInstruction, Trace
-
-
-@dataclass
-class _RegisterInfo:
-    """Who produced a register value and when it becomes usable."""
-
-    owner: Processor
-    ready: int = 0
-    chain_start: Optional[int] = None
 
 
 def _default_owner(register: Register) -> Processor:
@@ -83,26 +78,29 @@ def simulate_decoupled(
 
 
 class _DecoupledState:
-    """Mutable state of one decoupled-architecture simulation."""
+    """Issue rules of the four decoupled processors over a :class:`TimingCore`."""
 
     def __init__(self, memory: MemoryModel, config: DecoupledConfig) -> None:
         self.config = config
+        self.core = TimingCore(default_owner=_default_owner)
         self.memory = MemoryPipeline(memory, config)
-        self.resources = VectorExecutionResources(qmov_unit_count=config.qmov_units)
+        self.resources = VectorExecutionResources(
+            qmov_unit_count=config.qmov_units, lanes=config.lanes
+        )
 
         queue_size = config.queues.instruction_queue
         self.apiq = TimedQueue("APIQ", queue_size)
         self.vpiq = TimedQueue("VPIQ", queue_size)
         self.spiq = TimedQueue("SPIQ", queue_size)
 
-        self.fp_free = 0
-        self.ap_free = 0
-        self.vp_free = 0
-        self.sp_free = 0
+        # Per-processor issue pointers: each processor is a one-unit pool
+        # whose free time is the cycle it will look at its next instruction
+        # (no busy intervals are recorded — nothing reads them).
+        self.fp = self.core.add_pool("FP", record=False)
+        self.ap = self.core.add_pool("AP", record=False)
+        self.vp = self.core.add_pool("VP", record=False)
+        self.sp = self.core.add_pool("SP", record=False)
 
-        self.registers: Dict[Register, _RegisterInfo] = {}
-        self.horizon = 0
-        self.fetch_stall_cycles = 0
         self.counts: Dict[str, int] = {
             "FP": 0,
             "AP": 0,
@@ -114,13 +112,6 @@ class _DecoupledState:
 
     # -- register bookkeeping ----------------------------------------------------------
 
-    def _register_info(self, register: Register) -> _RegisterInfo:
-        info = self.registers.get(register)
-        if info is None:
-            info = _RegisterInfo(owner=_default_owner(register))
-            self.registers[register] = info
-        return info
-
     def _operand_time(
         self, register: Register, consumer: Processor, allow_chain: bool = False
     ) -> int:
@@ -130,12 +121,12 @@ class _DecoupledState:
         data queues and arrive ``cross_processor_delay`` cycles after they were
         produced; chaining is only possible inside the vector processor.
         """
-        info = self._register_info(register)
-        if info.owner is consumer:
-            if allow_chain and info.chain_start is not None:
-                return info.chain_start
-            return info.ready
-        return info.ready + self.config.cross_processor_delay
+        return self.core.scoreboard.read(
+            register,
+            consumer=consumer,
+            allow_chain=allow_chain,
+            cross_delay=self.config.cross_processor_delay,
+        )
 
     def _set_register(
         self,
@@ -144,13 +135,9 @@ class _DecoupledState:
         ready: int,
         chain_start: Optional[int] = None,
     ) -> None:
-        self.registers[register] = _RegisterInfo(
-            owner=owner, ready=ready, chain_start=chain_start
+        self.core.scoreboard.write(
+            register, ready, chain_start=chain_start, owner=owner
         )
-
-    def _bump(self, completion: int) -> None:
-        if completion > self.horizon:
-            self.horizon = completion
 
     # -- main step ------------------------------------------------------------------------
 
@@ -181,19 +168,19 @@ class _DecoupledState:
     ) -> Dict[Processor, int]:
         """Translate and distribute one instruction; return the IQ entry indices."""
         targets = decision.targets()
-        requested = self.fp_free
+        requested = self.fp.free_time()
         push_time = requested
         for processor in targets:
             push_time = max(push_time, self._instruction_queue(processor).earliest_push(requested))
-        self.fetch_stall_cycles += push_time - requested
+        self.core.stalls.stall("fetch", push_time - requested)
 
         entries: Dict[Processor, int] = {}
         for processor in targets:
             queue = self._instruction_queue(processor)
             queue.push(push_time, ready=push_time + 1)
             entries[processor] = queue.last_index
-        self.fp_free = push_time + 1
-        self._bump(self.fp_free)
+        self.fp.occupy(push_time, push_time + 1)
+        self.core.bump(push_time + 1)
         return entries
 
     # -- primary execution -----------------------------------------------------------------------
@@ -236,7 +223,7 @@ class _DecoupledState:
         self.counts["AP"] += 1
         instruction = record.instruction
         ready = self.apiq.entries[entry_index].ready_time
-        start = max(self.ap_free, ready)
+        start = max(self.ap.free_time(), ready)
         # The AP only waits for scalar operands (addresses, lengths); the data
         # registers of vector accesses belong to the VP and travel through the
         # queues instead.
@@ -247,7 +234,7 @@ class _DecoupledState:
             start = max(start, self.memory.reserve_load_data_slot(start))
             outcome = self.memory.issue_vector_load(record, start)
             self.memory.avdq.push(start, ready=outcome.data_ready)
-            self._bump(outcome.data_ready)
+            self.core.bump(outcome.data_ready)
             finish = start + 1
         elif instruction.is_vector_memory:
             push_time = self.memory.enqueue_vector_store(record, start)
@@ -255,7 +242,7 @@ class _DecoupledState:
         elif instruction.is_scalar_memory and instruction.is_load:
             data_ready = self.memory.issue_scalar_load(record, start)
             self.memory.asdq.push(start, ready=data_ready)
-            self._bump(data_ready)
+            self.core.bump(data_ready)
             finish = start + 1
         elif instruction.is_scalar_memory:
             push_time = self.memory.enqueue_scalar_store(record, start)
@@ -267,8 +254,8 @@ class _DecoupledState:
                 self._set_register(register, Processor.ADDRESS, finish)
 
         self.apiq.pop(start)
-        self.ap_free = finish
-        self._bump(finish)
+        self.ap.occupy(start, finish)
+        self.core.bump(finish)
 
     # -- vector processor -----------------------------------------------------------------------------
 
@@ -276,7 +263,7 @@ class _DecoupledState:
         self.counts["VP"] += 1
         instruction = record.instruction
         ready = self.vpiq.entries[entry_index].ready_time
-        start = max(self.vp_free, ready)
+        start = max(self.vp.free_time(), ready)
         for register in instruction.sources:
             if register.register_class in (RegisterClass.VECTOR_LENGTH, RegisterClass.VECTOR_STRIDE):
                 continue
@@ -285,30 +272,30 @@ class _DecoupledState:
             )
 
         length = max(record.vector_length, 1)
-        start, _unit = self.resources.acquire_functional_unit(
+        start, busy = self.resources.acquire_functional_unit(
             start, length, instruction.requires_fu2
         )
         self.vpiq.pop(start)
-        self.vp_free = start + 1
+        self.vp.occupy(start, start + 1)
 
         startup = self.config.functional_unit_startup
-        completion = start + startup + length
+        completion = start + startup + busy
         for register in instruction.destinations:
             chain = start + startup if register.is_vector else None
             self._set_register(register, Processor.VECTOR, completion, chain)
-        self._bump(completion)
+        self.core.bump(completion)
 
     def _vector_qmov_load(self, record: DynamicInstruction, entry_index: int) -> None:
         self.counts["VP"] += 1
         ready = self.vpiq.entries[entry_index].ready_time
-        start = max(self.vp_free, ready)
+        start = max(self.vp.free_time(), ready)
         front = self.memory.avdq.front()
         start = max(start, front.ready_time)
 
         length = max(record.vector_length, 1)
         start, _unit = self.resources.acquire_qmov_unit(start, length)
         self.vpiq.pop(start)
-        self.vp_free = start + 1
+        self.vp.occupy(start, start + 1)
 
         end = start + length
         self.memory.avdq.pop(end)
@@ -320,12 +307,12 @@ class _DecoupledState:
         self._set_register(
             destinations[0], Processor.VECTOR, completion, chain_start=start + startup
         )
-        self._bump(completion)
+        self.core.bump(completion)
 
     def _vector_qmov_store(self, record: DynamicInstruction, entry_index: int) -> None:
         self.counts["VP"] += 1
         ready = self.vpiq.entries[entry_index].ready_time
-        start = max(self.vp_free, ready)
+        start = max(self.vp.free_time(), ready)
         sources = record.instruction.vector_sources()
         if not sources:
             raise SimulationError(f"vector store without a vector data register: {record}")
@@ -337,11 +324,11 @@ class _DecoupledState:
         length = max(record.vector_length, 1)
         start, _unit = self.resources.acquire_qmov_unit(start, length)
         self.vpiq.pop(start)
-        self.vp_free = start + 1
+        self.vp.occupy(start, start + 1)
 
         data_ready = start + length
         self.memory.attach_vector_store_data(record, push_time=start, data_ready=data_ready)
-        self._bump(data_ready)
+        self.core.bump(data_ready)
 
     # -- scalar processor ----------------------------------------------------------------------------------
 
@@ -349,56 +336,55 @@ class _DecoupledState:
         self.counts["SP"] += 1
         instruction = record.instruction
         ready = self.spiq.entries[entry_index].ready_time
-        start = max(self.sp_free, ready)
+        start = max(self.sp.free_time(), ready)
         for register in instruction.sources:
             start = max(start, self._operand_time(register, Processor.SCALAR))
 
         self.spiq.pop(start)
-        self.sp_free = start + 1
+        self.sp.occupy(start, start + 1)
         completion = start + 1
         for register in instruction.destinations:
             self._set_register(register, Processor.SCALAR, completion)
-        self._bump(completion)
+        self.core.bump(completion)
 
     def _scalar_qmov_load(self, record: DynamicInstruction, entry_index: int) -> None:
         self.counts["SP"] += 1
         ready = self.spiq.entries[entry_index].ready_time
         front = self.memory.asdq.front()
-        start = max(self.sp_free, ready, front.ready_time)
+        start = max(self.sp.free_time(), ready, front.ready_time)
 
         self.spiq.pop(start)
-        self.sp_free = start + 1
+        self.sp.occupy(start, start + 1)
         self.memory.asdq.pop(start + 1)
         completion = start + 1
         destinations = record.instruction.scalar_destinations()
         if destinations:
             self._set_register(destinations[0], Processor.SCALAR, completion)
-        self._bump(completion)
+        self.core.bump(completion)
 
     def _scalar_qmov_store(self, record: DynamicInstruction, entry_index: int) -> None:
         self.counts["SP"] += 1
         ready = self.spiq.entries[entry_index].ready_time
-        start = max(self.sp_free, ready)
+        start = max(self.sp.free_time(), ready)
         sources = record.instruction.scalar_sources()
         if sources:
             start = max(start, self._operand_time(sources[0], Processor.SCALAR))
 
         self.spiq.pop(start)
-        self.sp_free = start + 1
+        self.sp.occupy(start, start + 1)
         self.memory.attach_scalar_store_data(record, push_time=start, data_ready=start + 1)
-        self._bump(start + 1)
+        self.core.bump(start + 1)
 
     # -- wind-down ------------------------------------------------------------------------------------------
 
     def finish(self, trace: Trace) -> DecoupledResult:
         drain_end = self.memory.drain_all()
-        total_cycles = max(
-            self.horizon,
-            self.fp_free,
-            self.ap_free,
-            self.vp_free,
-            self.sp_free,
-            self.memory.port_free,
+        total_cycles = self.core.finish_time(
+            self.fp.free_time(),
+            self.ap.free_time(),
+            self.vp.free_time(),
+            self.sp.free_time(),
+            self.memory.port_quiet,
             self.memory.bypass_free,
             drain_end,
         )
@@ -430,7 +416,7 @@ class _DecoupledState:
             bypassed_loads=self.memory.bypassed_loads,
             bypassed_bytes=self.memory.bypassed_bytes,
             disambiguation_stalls=self.memory.disambiguation_stalls,
-            fetch_stall_cycles=self.fetch_stall_cycles,
+            fetch_stall_cycles=self.core.stalls.stalls("fetch"),
             scalar_cache_hits=self.memory.cache.hits,
             scalar_cache_misses=self.memory.cache.misses,
         )

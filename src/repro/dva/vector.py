@@ -3,78 +3,76 @@
 The VP is almost exactly the vector half of the reference architecture
 (paper §4.3): the same two functional units with the same chaining rules, plus
 two queue-move (QMOV) units that transfer whole vector registers between the
-architectural queues and the register file.
+architectural queues and the register file.  Both groups are
+:class:`~repro.engine.ResourcePool`\\ s from the shared engine kernel; the
+functional units honour the machine's lane count.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import List, Tuple
 
-from repro.common.errors import ConfigurationError
 from repro.common.intervals import IntervalRecorder
+from repro.engine import ResourcePool, occupancy_cycles
+
+_FU1 = 0
+_FU2 = 1
 
 
-@dataclass
 class VectorExecutionResources:
     """Busy-time bookkeeping for FU1, FU2 and the QMOV units."""
 
-    qmov_unit_count: int = 2
-    fu1: IntervalRecorder = field(default_factory=lambda: IntervalRecorder("FU1"))
-    fu2: IntervalRecorder = field(default_factory=lambda: IntervalRecorder("FU2"))
-    qmov_units: List[IntervalRecorder] = field(default_factory=list)
-    fu1_free: int = 0
-    fu2_free: int = 0
-    qmov_free: List[int] = field(default_factory=list)
-
-    def __post_init__(self) -> None:
-        if self.qmov_unit_count <= 0:
-            raise ConfigurationError("the VP needs at least one QMOV unit")
-        if not self.qmov_units:
-            self.qmov_units = [
-                IntervalRecorder(f"QMOV{i}") for i in range(self.qmov_unit_count)
-            ]
-        if not self.qmov_free:
-            self.qmov_free = [0] * self.qmov_unit_count
+    def __init__(self, qmov_unit_count: int = 2, lanes: int = 1) -> None:
+        self.lanes = lanes
+        self.fus = ResourcePool("FU", count=2, unit_names=("FU1", "FU2"))
+        self.qmovs = ResourcePool(
+            "QMOV",
+            count=qmov_unit_count,
+            unit_names=[f"QMOV{i}" for i in range(qmov_unit_count)],
+        )
 
     # -- functional units -------------------------------------------------------------
 
     def acquire_functional_unit(
         self, earliest: int, length: int, requires_fu2: bool
-    ) -> Tuple[int, str]:
-        """Reserve a functional unit; return (start_cycle, unit_name)."""
-        if requires_fu2:
-            start = max(earliest, self.fu2_free)
-            self.fu2.record(start, start + length)
-            self.fu2_free = start + length
-            return start, "FU2"
-        if self.fu1_free <= self.fu2_free:
-            start = max(earliest, self.fu1_free)
-            self.fu1.record(start, start + length)
-            self.fu1_free = start + length
-            return start, "FU1"
-        start = max(earliest, self.fu2_free)
-        self.fu2.record(start, start + length)
-        self.fu2_free = start + length
-        return start, "FU2"
+    ) -> Tuple[int, int]:
+        """Reserve a functional unit; return ``(start_cycle, busy_cycles)``.
+
+        FU2 executes everything, FU1 only what does not require FU2; among
+        eligible units the least-loaded wins, FU1 taking ties.  ``busy_cycles``
+        is the unit occupancy after lane division — the caller derives the
+        completion cycle from it.
+        """
+        busy = occupancy_cycles(length, self.lanes)
+        unit = _FU2 if requires_fu2 else None
+        start, _unit = self.fus.acquire(earliest, busy, unit=unit)
+        return start, busy
 
     # -- queue-move units ---------------------------------------------------------------
 
     def acquire_qmov_unit(self, earliest: int, length: int) -> Tuple[int, int]:
         """Reserve the earliest-free QMOV unit; return (start_cycle, unit_index)."""
-        unit_index = min(range(self.qmov_unit_count), key=lambda i: self.qmov_free[i])
-        start = max(earliest, self.qmov_free[unit_index])
-        self.qmov_units[unit_index].record(start, start + length)
-        self.qmov_free[unit_index] = start + length
-        return start, unit_index
+        return self.qmovs.acquire(earliest, length)
 
     def earliest_qmov_free(self) -> int:
-        return min(self.qmov_free)
+        return self.qmovs.earliest_free()
 
     # -- statistics -----------------------------------------------------------------------
 
+    @property
+    def fu1(self) -> IntervalRecorder:
+        return self.fus.recorder(_FU1)
+
+    @property
+    def fu2(self) -> IntervalRecorder:
+        return self.fus.recorder(_FU2)
+
+    @property
+    def qmov_units(self) -> List[IntervalRecorder]:
+        return list(self.qmovs.recorders or ())
+
     def qmov_busy_time(self) -> int:
-        return sum(unit.busy_time() for unit in self.qmov_units)
+        return self.qmovs.busy_time()
 
     def functional_unit_busy_time(self) -> int:
-        return self.fu1.busy_time() + self.fu2.busy_time()
+        return self.fus.busy_time()

@@ -1,0 +1,40 @@
+"""The shared timing kernel both simulated machines are built on.
+
+The reference and decoupled simulators used to hand-roll the same timing
+machinery twice — register scoreboards with chain-start tracking, free-time
+bookkeeping for functional units and the memory port, stall accounting, the
+completion-horizon logic.  This package is that machinery as one tested
+kernel:
+
+* :class:`Scoreboard` — register ready/chain-start/owner tracking.
+* :class:`ResourcePool` — *k* interchangeable units, each a free-time +
+  :class:`~repro.common.intervals.IntervalRecorder` pair, with the seed's
+  least-loaded/first-wins selection rule; :func:`occupancy_cycles` converts
+  vector lengths to busy cycles for multi-lane units.
+* :class:`StallAccountant` — named stall counters and per-category cycles.
+* :class:`MemoryFabric` — the memory-port pool, the scalar cache in front of
+  it, and traffic accounting, wired once for both machines.
+* :class:`TimingCore` — composes the above with the completion horizon.
+
+Everything works in one-pass timestamp arithmetic: simulators process the
+trace once in program order and never step individual cycles, so a new
+machine variant (more lanes, more ports, different queueing) is configuration
+over these primitives rather than a new 400-line simulator.
+"""
+
+from repro.engine.memory import MemoryFabric, ScalarAccess
+from repro.engine.resources import ResourcePool, occupancy_cycles
+from repro.engine.scoreboard import RegisterEntry, Scoreboard
+from repro.engine.stalls import StallAccountant
+from repro.engine.timing import TimingCore
+
+__all__ = [
+    "MemoryFabric",
+    "RegisterEntry",
+    "ResourcePool",
+    "ScalarAccess",
+    "Scoreboard",
+    "StallAccountant",
+    "TimingCore",
+    "occupancy_cycles",
+]

@@ -1,0 +1,45 @@
+"""Stall and busy-cycle accounting shared by every simulated machine.
+
+The reference machine counts cycles its dispatcher spends blocked and
+attributes execution cycles to instruction categories; the decoupled machine
+counts cycles its fetch processor spends blocked on full instruction queues.
+:class:`StallAccountant` is the common ledger for both: named stall counters
+plus named busy-cycle categories.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+
+class StallAccountant:
+    """Named stall counters and per-category cycle accounting."""
+
+    def __init__(self) -> None:
+        self.stall_cycles: Dict[str, int] = {}
+        self.category_cycles: Dict[str, int] = {}
+
+    # -- stalls ------------------------------------------------------------------------
+
+    def stall(self, kind: str, cycles: int) -> None:
+        """Charge ``cycles`` of stall to ``kind`` (negative charges clamp to 0)."""
+        if cycles > 0:
+            self.stall_cycles[kind] = self.stall_cycles.get(kind, 0) + cycles
+
+    def stalls(self, kind: str) -> int:
+        """Total stall cycles charged to ``kind``."""
+        return self.stall_cycles.get(kind, 0)
+
+    # -- busy categories ---------------------------------------------------------------
+
+    def account(self, category: str, cycles: int) -> None:
+        """Attribute ``cycles`` of execution to ``category``."""
+        self.category_cycles[category] = self.category_cycles.get(category, 0) + cycles
+
+    def total(self, category: str) -> int:
+        """Total cycles attributed to ``category``."""
+        return self.category_cycles.get(category, 0)
+
+    def categories(self) -> Dict[str, int]:
+        """A copy of the per-category totals (safe to embed in results)."""
+        return dict(self.category_cycles)

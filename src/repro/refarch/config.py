@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.common.errors import ConfigurationError
 from repro.memory.scalar_cache import ScalarCacheConfig
@@ -25,13 +25,29 @@ class ReferenceConfig:
             the memory port; when ``False`` (default) store hits are absorbed
             by the cache, which is how the paper can count the scalar cache as
             a resource separate from the memory port.
+        lanes: parallel lanes per vector functional unit (the classic
+            Cray/NEC scaling axis).  A length-VL operation occupies its unit
+            for ``ceil(VL / lanes)`` cycles; the paper's machine has one lane.
+        memory_ports: identical memory-port units sharing the address bus;
+            references pick the least-loaded port.  The paper's machine has
+            one.
     """
 
     functional_unit_startup: int = 4
     allow_load_chaining: bool = False
     scalar_cache: ScalarCacheConfig = field(default_factory=ScalarCacheConfig)
     scalar_store_writes_through: bool = False
+    lanes: int = 1
+    memory_ports: int = 1
 
     def __post_init__(self) -> None:
         if self.functional_unit_startup < 0:
             raise ConfigurationError("functional unit startup cannot be negative")
+        if self.lanes <= 0:
+            raise ConfigurationError("a vector unit needs at least one lane")
+        if self.memory_ports <= 0:
+            raise ConfigurationError("the machine needs at least one memory port")
+
+    def with_variant(self, lanes: int, memory_ports: int) -> "ReferenceConfig":
+        """A copy of this configuration with different lane/port counts."""
+        return replace(self, lanes=lanes, memory_ports=memory_ports)

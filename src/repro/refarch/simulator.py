@@ -9,36 +9,31 @@ started executing.  An instruction starts executing when
   merely *started* when flexible chaining applies (functional unit to
   functional unit and functional unit to store; never after a vector load),
 * and its execution resource is free (FU1/FU2 for vector arithmetic, the
-  single memory port for vector memory and scalar-cache misses).
+  memory port for vector memory and scalar-cache misses).
 
-Processing the trace once in program order and keeping, for every register
-and resource, the cycle at which it next becomes available yields exactly the
-timing a cycle-by-cycle simulation of this in-order machine would produce,
-at a small fraction of the cost.
+The timing machinery — the register scoreboard, the functional-unit and
+memory-port pools, stall accounting and the completion horizon — is the
+shared :mod:`repro.engine` kernel; this module contributes only the issue
+rules of the reference machine.  Processing the trace once in program order
+yields exactly the timing a cycle-by-cycle simulation would produce, at a
+small fraction of the cost.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Optional
 
 from repro.common.errors import SimulationError
-from repro.common.intervals import IntervalRecorder
-from repro.isa.opcodes import Opcode, OpcodeClass
+from repro.engine import MemoryFabric, TimingCore, occupancy_cycles
+from repro.isa.opcodes import OpcodeClass
 from repro.isa.registers import Register
 from repro.memory.model import MemoryModel
-from repro.memory.scalar_cache import ScalarCache
 from repro.refarch.config import ReferenceConfig
 from repro.refarch.result import ReferenceResult
 from repro.trace.record import DynamicInstruction, Trace
 
-
-@dataclass
-class _RegisterState:
-    """Availability of one architectural register."""
-
-    ready: int = 0
-    chain_start: Optional[int] = None  # first-element availability, if chainable
+_FU1 = 0
+_FU2 = 1
 
 
 class ReferenceSimulator:
@@ -73,42 +68,32 @@ def simulate_reference(
 
 
 class _SimulationState:
-    """Mutable state of one reference-architecture simulation."""
+    """Issue rules of the reference machine over a :class:`TimingCore`."""
 
     def __init__(self, memory: MemoryModel, config: ReferenceConfig) -> None:
         self.memory = memory
         self.config = config
-        self.cache = ScalarCache(config.scalar_cache)
+        self.core = TimingCore()
+        self.fus = self.core.add_pool("FU", count=2, unit_names=("FU1", "FU2"))
+        self.fabric = MemoryFabric(
+            memory,
+            config.scalar_cache,
+            ports=config.memory_ports,
+            scalar_store_writes_through=config.scalar_store_writes_through,
+        )
 
         self.dispatch_free = 0
-        self.fu1 = IntervalRecorder("FU1")
-        self.fu2 = IntervalRecorder("FU2")
-        self.port = IntervalRecorder("LD")
-        self.fu1_free = 0
-        self.fu2_free = 0
-        self.port_free = 0
-
-        self.registers: Dict[Register, _RegisterState] = {}
-        self.completion_horizon = 0
-        self.traffic_bytes = 0
-        self.dispatch_stall_cycles = 0
-        self.category_cycles: Dict[str, int] = {}
-
         self.instructions = 0
         self.vector_instructions = 0
         self.scalar_instructions = 0
 
     # -- register helpers ------------------------------------------------------------
 
-    def _register_state(self, register: Register) -> _RegisterState:
-        return self.registers.setdefault(register, _RegisterState())
-
     def _operand_ready(self, record: DynamicInstruction, register: Register) -> int:
         """Cycle at which ``record`` may start as far as ``register`` is concerned."""
-        state = self._register_state(register)
-        if state.chain_start is not None and self._consumer_may_chain(record):
-            return state.chain_start
-        return state.ready
+        return self.core.scoreboard.read(
+            register, allow_chain=self._consumer_may_chain(record)
+        )
 
     def _consumer_may_chain(self, record: DynamicInstruction) -> bool:
         """Chaining targets: vector arithmetic and vector stores (paper §2.1)."""
@@ -148,122 +133,82 @@ class _SimulationState:
     # -- per-class issue rules -----------------------------------------------------------
 
     def _advance_dispatch(self, issue_time: int) -> None:
-        self.dispatch_stall_cycles += max(0, issue_time - self.dispatch_free)
+        self.core.stalls.stall("dispatch", issue_time - self.dispatch_free)
         self.dispatch_free = issue_time + 1
-
-    def _account(self, category: str, cycles: int) -> None:
-        self.category_cycles[category] = self.category_cycles.get(category, 0) + cycles
 
     def _issue_scalar(self, record: DynamicInstruction, earliest: int) -> None:
         issue_time = earliest
         self._advance_dispatch(issue_time)
         completion = issue_time + 1
         for register in record.instruction.destinations:
-            state = self._register_state(register)
-            state.ready = completion
-            state.chain_start = None
-        self._bump_horizon(completion)
-        self._account("scalar", 1)
+            self.core.scoreboard.write(register, completion)
+        self.core.bump(completion)
+        self.core.stalls.account("scalar", 1)
 
     def _issue_vector_compute(self, record: DynamicInstruction, earliest: int) -> None:
         instruction = record.instruction
-        length = max(record.vector_length, 1)
+        busy = occupancy_cycles(record.vector_length, self.config.lanes)
 
-        if instruction.requires_fu2:
-            unit_free, unit, unit_attr = self.fu2_free, self.fu2, "fu2_free"
-        elif self.fu1_free <= self.fu2_free:
-            unit_free, unit, unit_attr = self.fu1_free, self.fu1, "fu1_free"
-        else:
-            unit_free, unit, unit_attr = self.fu2_free, self.fu2, "fu2_free"
-
-        issue_time = max(earliest, unit_free)
+        unit = _FU2 if instruction.requires_fu2 else None
+        issue_time, _unit = self.fus.acquire(earliest, busy, unit=unit)
         self._advance_dispatch(issue_time)
-
-        busy_until = issue_time + length
-        unit.record(issue_time, busy_until)
-        setattr(self, unit_attr, busy_until)
 
         startup = self.config.functional_unit_startup
         first_element = issue_time + startup
-        completion = issue_time + startup + length
+        completion = issue_time + startup + busy
         for register in instruction.destinations:
-            state = self._register_state(register)
-            state.ready = completion
             # Scalar results of reductions are not chainable; vector results are.
-            state.chain_start = first_element if register.is_vector else None
-        self._bump_horizon(completion)
-        self._account("vector_compute", length)
+            self.core.scoreboard.write(
+                register,
+                completion,
+                chain_start=first_element if register.is_vector else None,
+            )
+        self.core.bump(completion)
+        self.core.stalls.account("vector_compute", busy)
 
     def _issue_vector_memory(self, record: DynamicInstruction, earliest: int) -> None:
         instruction = record.instruction
-        issue_time = max(earliest, self.port_free)
+        issue_time, bus_end = self.fabric.occupy_vector_bus(earliest, record)
         self._advance_dispatch(issue_time)
-
-        bus_cycles = self.memory.bus_occupancy(record)
-        bus_end = issue_time + bus_cycles
-        self.port.record(issue_time, bus_end)
-        self.port_free = bus_end
-        self.traffic_bytes += self.memory.traffic_bytes(record)
 
         if instruction.is_load:
             completion = self.memory.load_complete(record, issue_time)
             for register in instruction.destinations:
-                state = self._register_state(register)
-                state.ready = completion
-                if self.config.allow_load_chaining:
-                    state.chain_start = self.memory.first_element_arrival(issue_time)
-                else:
-                    state.chain_start = None
-            self._bump_horizon(completion)
+                chain_start = (
+                    self.memory.first_element_arrival(issue_time)
+                    if self.config.allow_load_chaining
+                    else None
+                )
+                self.core.scoreboard.write(register, completion, chain_start=chain_start)
+            self.core.bump(completion)
         else:
             completion = self.memory.store_complete(record, issue_time)
-            self._bump_horizon(completion)
-        self._account("vector_memory", bus_cycles)
+            self.core.bump(completion)
+        self.core.stalls.account("vector_memory", bus_end - issue_time)
 
     def _issue_scalar_memory(self, record: DynamicInstruction, earliest: int) -> None:
         instruction = record.instruction
-        if record.base_address is None:
-            raise SimulationError(f"scalar memory access without address: {record}")
-        hit = self.cache.access(record.base_address)
+        access = self.fabric.scalar_access(record)
 
-        uses_port = not hit
-        if instruction.is_store and self.config.scalar_store_writes_through:
-            uses_port = True
-
-        if uses_port:
-            issue_time = max(earliest, self.port_free)
+        if access.uses_port:
+            issue_time, _bus_end = self.fabric.occupy_scalar_bus(earliest, record)
         else:
             issue_time = earliest
         self._advance_dispatch(issue_time)
 
-        if uses_port:
-            bus_end = issue_time + self.memory.timings.scalar_bus_cycles
-            self.port.record(issue_time, bus_end)
-            self.port_free = bus_end
-            self.traffic_bytes += self.memory.traffic_bytes(record)
-
         if instruction.is_load:
-            if hit:
-                completion = issue_time + self.config.scalar_cache.hit_latency
-            else:
-                completion = issue_time + 1 + self.memory.latency
+            completion = self.fabric.scalar_load_ready(access, issue_time)
             for register in instruction.destinations:
-                state = self._register_state(register)
-                state.ready = completion
-                state.chain_start = None
+                self.core.scoreboard.write(register, completion)
         else:
             completion = issue_time + 1
-        self._bump_horizon(completion)
-        self._account("scalar_memory", 1)
+        self.core.bump(completion)
+        self.core.stalls.account("scalar_memory", 1)
 
-    # -- bookkeeping -------------------------------------------------------------------------
-
-    def _bump_horizon(self, completion: int) -> None:
-        if completion > self.completion_horizon:
-            self.completion_horizon = completion
+    # -- wind-down -------------------------------------------------------------------------
 
     def finish(self, trace: Trace) -> ReferenceResult:
-        total_cycles = max(self.completion_horizon, self.dispatch_free)
+        total_cycles = self.core.finish_time(self.dispatch_free)
         return ReferenceResult(
             program=trace.name,
             latency=self.memory.latency,
@@ -271,12 +216,12 @@ class _SimulationState:
             instructions=self.instructions,
             vector_instructions=self.vector_instructions,
             scalar_instructions=self.scalar_instructions,
-            fu1_busy=self.fu1,
-            fu2_busy=self.fu2,
-            port_busy=self.port,
-            memory_traffic_bytes=self.traffic_bytes,
-            scalar_cache_hits=self.cache.hits,
-            scalar_cache_misses=self.cache.misses,
-            dispatch_stall_cycles=self.dispatch_stall_cycles,
-            category_cycles=dict(self.category_cycles),
+            fu1_busy=self.fus.recorder(_FU1),
+            fu2_busy=self.fus.recorder(_FU2),
+            port_busy=self.fabric.port_recorder(),
+            memory_traffic_bytes=self.fabric.traffic_bytes,
+            scalar_cache_hits=self.fabric.cache.hits,
+            scalar_cache_misses=self.fabric.cache.misses,
+            dispatch_stall_cycles=self.core.stalls.stalls("dispatch"),
+            category_cycles=self.core.stalls.categories(),
         )

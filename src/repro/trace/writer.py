@@ -16,7 +16,7 @@ from pathlib import Path
 from typing import IO, Union
 
 from repro.isa.instruction import Instruction
-from repro.isa.registers import Register, RegisterClass
+from repro.isa.registers import Register
 from repro.trace.record import DynamicInstruction, Trace
 
 #: Version tag written into every trace header.

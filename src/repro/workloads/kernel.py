@@ -14,7 +14,7 @@ invocation counts to approximate whole Perfect Club programs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Tuple
 
 from repro.common.errors import WorkloadError

@@ -85,8 +85,42 @@ class TestRunner:
 
     def test_serial_and_multiprocess_runs_are_identical(self):
         serial = Runner(jobs=1).run(SPEC)
-        parallel = Runner(jobs=2).run(SPEC)
+        # adaptive=False forces the pool even on single-CPU machines, so the
+        # multiprocessing path is exercised regardless of where the tests run.
+        with Runner(jobs=2, adaptive=False) as parallel_runner:
+            parallel = parallel_runner.run(SPEC)
         assert serial.results == parallel.results
+
+    def test_pool_persists_across_runs(self):
+        with Runner(jobs=2, adaptive=False) as runner:
+            first = runner.run(SPEC)
+            pool = runner._pool
+            second = runner.run(SPEC)
+            assert runner._pool is pool
+            assert first.results == second.results
+        assert runner._pool is None
+
+    def test_single_program_grid_parallelizes_by_cell_chunks(self):
+        spec = SweepSpec(
+            programs=("dyfesm",),
+            latencies=(1, 50),
+            architectures=("ref", "dva"),
+            scale=0.2,
+        )
+        serial = Runner(jobs=1).run(spec)
+        with Runner(jobs=2, adaptive=False) as runner:
+            parallel = runner.run(spec)
+        assert serial.results == parallel.results
+
+    def test_adaptive_runner_caps_workers_to_available_cpus(self):
+        from repro.core.experiment import _available_parallelism
+
+        runner = Runner(jobs=4096)
+        assert runner.effective_jobs == min(4096, _available_parallelism())
+        assert Runner(jobs=4096, adaptive=False).effective_jobs == 4096
+        # Whatever the cap resolves to, results stay identical to serial.
+        assert runner.run(SPEC).results == Runner(jobs=1).run(SPEC).results
+        runner.close()
 
     def test_invalid_job_count_rejected(self):
         with pytest.raises(ConfigurationError):

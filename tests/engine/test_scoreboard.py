@@ -1,0 +1,87 @@
+"""Unit tests for the engine scoreboard (register availability tracking)."""
+
+from repro.engine import Scoreboard
+from repro.isa.registers import Register, RegisterClass
+
+
+def v(number: int) -> Register:
+    return Register(RegisterClass.VECTOR, number)
+
+
+def s(number: int) -> Register:
+    return Register(RegisterClass.SCALAR, number)
+
+
+class TestOwnerlessScoreboard:
+    """The reference machine's usage: ready + chain_start, no ownership."""
+
+    def test_unwritten_register_is_ready_at_cycle_zero(self):
+        board = Scoreboard()
+        assert board.read(v(1)) == 0
+
+    def test_write_sets_ready(self):
+        board = Scoreboard()
+        board.write(v(1), 42)
+        assert board.read(v(1)) == 42
+
+    def test_chain_start_served_only_when_asked(self):
+        board = Scoreboard()
+        board.write(v(1), 100, chain_start=54)
+        assert board.read(v(1)) == 100
+        assert board.read(v(1), allow_chain=True) == 54
+
+    def test_chain_request_without_chainable_producer_waits_for_ready(self):
+        board = Scoreboard()
+        board.write(v(1), 100)  # chain_start=None: not chainable
+        assert board.read(v(1), allow_chain=True) == 100
+
+    def test_rewrite_clears_stale_chain_start(self):
+        """Every write resolves chainability anew — a scalar producer after a
+        chainable one must not leave the old chain_start behind."""
+        board = Scoreboard()
+        board.write(v(1), 100, chain_start=54)
+        board.write(v(1), 200)
+        assert board.read(v(1), allow_chain=True) == 200
+
+
+class TestOwnedScoreboard:
+    """The decoupled machine's usage: ownership and cross-processor delay."""
+
+    def test_default_owner_assigned_on_first_touch(self):
+        board = Scoreboard(default_owner=lambda r: r.register_class)
+        assert board.entry(s(3)).owner is RegisterClass.SCALAR
+
+    def test_local_read_ignores_cross_delay(self):
+        board = Scoreboard(default_owner=lambda r: r.register_class)
+        board.write(s(1), 10, owner=RegisterClass.SCALAR)
+        assert board.read(s(1), consumer=RegisterClass.SCALAR, cross_delay=5) == 10
+
+    def test_remote_read_pays_cross_delay(self):
+        board = Scoreboard(default_owner=lambda r: r.register_class)
+        board.write(s(1), 10, owner=RegisterClass.SCALAR)
+        assert board.read(s(1), consumer=RegisterClass.ADDRESS, cross_delay=5) == 15
+
+    def test_chaining_is_local_only(self):
+        board = Scoreboard(default_owner=lambda r: r.register_class)
+        board.write(v(1), 100, chain_start=54, owner=RegisterClass.VECTOR)
+        local = board.read(
+            v(1), consumer=RegisterClass.VECTOR, allow_chain=True, cross_delay=1
+        )
+        remote = board.read(
+            v(1), consumer=RegisterClass.ADDRESS, allow_chain=True, cross_delay=1
+        )
+        assert local == 54
+        assert remote == 101
+
+    def test_write_without_owner_keeps_current_owner(self):
+        board = Scoreboard(default_owner=lambda r: r.register_class)
+        board.write(s(1), 10, owner=RegisterClass.ADDRESS)
+        board.write(s(1), 20)
+        assert board.entry(s(1)).owner is RegisterClass.ADDRESS
+
+    def test_len_and_contains(self):
+        board = Scoreboard()
+        assert s(1) not in board
+        board.write(s(1), 1)
+        assert s(1) in board
+        assert len(board) == 1

@@ -1,0 +1,128 @@
+"""Unit tests for StallAccountant, TimingCore and MemoryFabric."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.engine import MemoryFabric, StallAccountant, TimingCore
+from repro.isa.instruction import Instruction, MemoryOperand
+from repro.isa.opcodes import Opcode
+from repro.isa.registers import Register, RegisterClass
+from repro.memory.model import MemoryModel
+from repro.trace.record import DynamicInstruction
+
+
+class TestStallAccountant:
+    def test_stalls_accumulate_by_kind(self):
+        stalls = StallAccountant()
+        stalls.stall("dispatch", 3)
+        stalls.stall("dispatch", 4)
+        stalls.stall("fetch", 1)
+        assert stalls.stalls("dispatch") == 7
+        assert stalls.stalls("fetch") == 1
+        assert stalls.stalls("unknown") == 0
+
+    def test_negative_charges_clamp_to_zero(self):
+        stalls = StallAccountant()
+        stalls.stall("dispatch", -5)
+        assert stalls.stalls("dispatch") == 0
+
+    def test_categories_accumulate_and_copy(self):
+        stalls = StallAccountant()
+        stalls.account("vector_compute", 64)
+        stalls.account("vector_compute", 36)
+        stalls.account("scalar", 1)
+        assert stalls.total("vector_compute") == 100
+        copied = stalls.categories()
+        copied["scalar"] = 999
+        assert stalls.total("scalar") == 1
+
+
+class TestTimingCore:
+    def test_bump_only_extends(self):
+        core = TimingCore()
+        core.bump(10)
+        core.bump(5)
+        assert core.horizon == 10
+
+    def test_finish_time_includes_pointers(self):
+        core = TimingCore()
+        core.bump(10)
+        assert core.finish_time() == 10
+        assert core.finish_time(25, 3) == 25
+
+    def test_pools_are_registered_by_name(self):
+        core = TimingCore()
+        pool = core.add_pool("FU", count=2)
+        assert core.pool("FU") is pool
+        with pytest.raises(ConfigurationError, match="already exists"):
+            core.add_pool("FU")
+        with pytest.raises(ConfigurationError, match="unknown resource pool"):
+            core.pool("LD")
+
+
+def _scalar_load(address: int) -> DynamicInstruction:
+    instruction = Instruction(
+        opcode=Opcode.S_LOAD,
+        destinations=(Register(RegisterClass.SCALAR, 0),),
+        sources=(Register(RegisterClass.ADDRESS, 0),),
+        memory=MemoryOperand(region="data"),
+    )
+    return DynamicInstruction(instruction=instruction, sequence=0, base_address=address)
+
+
+def _scalar_store(address: int) -> DynamicInstruction:
+    instruction = Instruction(
+        opcode=Opcode.S_STORE,
+        sources=(
+            Register(RegisterClass.SCALAR, 0),
+            Register(RegisterClass.ADDRESS, 0),
+        ),
+        memory=MemoryOperand(region="data"),
+    )
+    return DynamicInstruction(instruction=instruction, sequence=0, base_address=address)
+
+
+class TestMemoryFabric:
+    def test_scalar_load_miss_then_hit(self):
+        fabric = MemoryFabric(MemoryModel(latency=50))
+        miss = fabric.scalar_access(_scalar_load(0x1000))
+        assert not miss.hit and miss.uses_port
+        hit = fabric.scalar_access(_scalar_load(0x1000))
+        assert hit.hit and not hit.uses_port
+
+    def test_scalar_load_ready_latencies(self):
+        fabric = MemoryFabric(MemoryModel(latency=50))
+        miss = fabric.scalar_access(_scalar_load(0x1000))
+        assert fabric.scalar_load_ready(miss, 10) == 10 + 1 + 50
+        hit = fabric.scalar_access(_scalar_load(0x1000))
+        assert fabric.scalar_load_ready(hit, 10) == 10 + 1  # hit latency 1
+
+    def test_store_hit_stays_off_port_unless_write_through(self):
+        fabric = MemoryFabric(MemoryModel(latency=1))
+        fabric.scalar_access(_scalar_load(0x2000))  # allocate the line
+        assert not fabric.scalar_access(_scalar_store(0x2000)).uses_port
+
+        through = MemoryFabric(
+            MemoryModel(latency=1), scalar_store_writes_through=True
+        )
+        through.scalar_access(_scalar_load(0x2000))
+        assert through.scalar_access(_scalar_store(0x2000)).uses_port
+
+    def test_bus_occupation_accumulates_traffic_and_port_time(self):
+        fabric = MemoryFabric(MemoryModel(latency=1))
+        record = _scalar_load(0x3000)
+        start, end = fabric.occupy_scalar_bus(4, record)
+        assert (start, end) == (4, 5)
+        assert fabric.traffic_bytes == record.bytes_accessed
+        assert fabric.port_free() == 5
+        # The next reference waits for the single port.
+        start, end = fabric.occupy_scalar_bus(0, record)
+        assert start == 5
+
+    def test_two_ports_overlap_references(self):
+        fabric = MemoryFabric(MemoryModel(latency=1), ports=2)
+        record = _scalar_load(0x4000)
+        first, _ = fabric.occupy_scalar_bus(0, record)
+        second, _ = fabric.occupy_scalar_bus(0, record)
+        assert (first, second) == (0, 0)
+        assert fabric.port_recorder().busy_time() == 1  # merged "any port busy"

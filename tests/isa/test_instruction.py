@@ -3,7 +3,7 @@
 import pytest
 
 from repro.common.errors import ConfigurationError
-from repro.isa.instruction import Instruction, MemoryOperand, make_instruction
+from repro.isa.instruction import MemoryOperand, make_instruction
 from repro.isa.opcodes import ExecutionUnit, Opcode, OpcodeClass
 from repro.isa.registers import VL_REGISTER, s_reg, v_reg
 

@@ -1,6 +1,5 @@
 """Tests for opcode classification."""
 
-import pytest
 
 from repro.isa import opcodes as op
 from repro.isa.opcodes import ExecutionUnit, Opcode, OpcodeClass

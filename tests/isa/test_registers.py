@@ -4,7 +4,6 @@ import pytest
 
 from repro.common.errors import ConfigurationError
 from repro.isa.registers import (
-    Register,
     RegisterClass,
     RegisterFile,
     VECTOR_REGISTER_COUNT,
