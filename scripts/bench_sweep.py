@@ -81,17 +81,22 @@ def main() -> int:
                         help="runs per mode; the first is cold, the best of "
                              "the rest is reported as warm")
     parser.add_argument("--output", default="BENCH_sweep.json")
+    parser.add_argument("--axis", action="append", default=[],
+                        metavar="NAME=V1,V2,...",
+                        help="extra machine-parameter sweep axis (repeatable), "
+                             "e.g. --axis lanes=1,2 to benchmark a wider grid")
     args = parser.parse_args()
     if args.repeats < 1:
         parser.error("--repeats must be at least 1")
     if args.jobs < 2:
         parser.error("--jobs must be at least 2 (the serial mode is always timed)")
 
-    spec = SweepSpec(
-        programs=("dyfesm", "trfd"),
-        latencies=(1, 50, 100),
-        architectures=("ref", "dva"),
+    spec = SweepSpec.from_strings(
+        programs="dyfesm,trfd",
+        latencies="1,50,100",
+        architectures="ref,dva",
         scale=args.scale,
+        axes=tuple(args.axis),
     )
 
     parallel_label = f"jobs{args.jobs}"
@@ -116,6 +121,7 @@ def main() -> int:
             "latencies": list(spec.latencies),
             "architectures": list(spec.architectures),
             "scale": spec.scale,
+            "axes": [[name, list(values)] for name, values in spec.axes],
         },
         "python": platform.python_version(),
         "machine": platform.machine(),

@@ -5,7 +5,8 @@ The snapshot pins ``total_cycles`` and the key stall counters of every cell of
 the grid (six Perfect Club programs x latencies {1, 50, 100} x the paper's
 three machines).  It was generated from the pre-engine seed simulators and
 must NOT be regenerated casually: the whole point of the file is that the
-engine-based simulators reproduce the seed timing exactly.  Regenerate only
+simulators — today resolved declaratively through ``MachineSpec`` presets —
+reproduce the seed timing exactly, however they are implemented.  Regenerate only
 when a deliberate, reviewed timing-model change makes the old numbers wrong:
 
     PYTHONPATH=src python scripts/make_golden.py

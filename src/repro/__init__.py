@@ -21,11 +21,12 @@ contribution:
 
 The :mod:`repro.core` facade is re-exported here, so most callers only need::
 
-    from repro import SweepSpec, run_sweep, simulate
+    from repro import MachineSpec, SweepSpec, run_sweep, simulate
 """
 
 from repro.core import (
     Experiment,
+    MachineSpec,
     RunConfig,
     RunResult,
     Runner,
@@ -34,15 +35,18 @@ from repro.core import (
     SweepSpec,
     architecture,
     architecture_names,
+    machine_spec,
     register_architecture,
+    resolve_architecture,
     run_sweep,
     simulate,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "Experiment",
+    "MachineSpec",
     "RunConfig",
     "RunResult",
     "Runner",
@@ -52,7 +56,9 @@ __all__ = [
     "__version__",
     "architecture",
     "architecture_names",
+    "machine_spec",
     "register_architecture",
+    "resolve_architecture",
     "run_sweep",
     "simulate",
 ]

@@ -3,14 +3,21 @@
 Everything the paper's experiments need is reachable from here without
 touching the per-architecture packages:
 
-* :class:`Simulator` protocol and the architecture registry (``"ref"``,
-  ``"dva"``, ``"dva-nobypass"``; extensible via :func:`register_architecture`)
-  adapting both simulators behind one ``simulate(trace, config)`` call that
-  returns a unified, JSON-serializable :class:`RunResult`.
-* :class:`SweepSpec` / :class:`Experiment` declaring
-  (programs × latencies × architectures) grids and the :class:`Runner`
-  executing them serially or across a ``multiprocessing`` pool with
-  per-program trace caching.
+* :class:`MachineSpec` — a declarative, validated machine description
+  (family, lanes, ports, bypass, chaining, queue depths, scalar-cache
+  geometry) that round-trips through strings (``dva@lanes=2,ports=2``),
+  JSON and TOML.  Named presets (``"ref"``, ``"dva"``, ``"dva-nobypass"``,
+  ``"ref-2lane"``, ``"dva-2port"``) are :class:`MachineSpec` instances.
+* :class:`Simulator` protocol and the architecture registry resolving
+  presets and inline specs into runnable simulators
+  (:class:`SpecArchitecture`); extensible via :func:`register_architecture`
+  with either a spec or a ready-made simulator.  Results come back as a
+  unified, JSON-serializable :class:`RunResult` carrying the resolved spec
+  as provenance.
+* :class:`SweepSpec` / :class:`Experiment` declaring (programs × latencies ×
+  machine axes × architectures) grids — any :class:`MachineSpec` field can
+  be a sweep axis — and the :class:`Runner` executing them serially or
+  across a ``multiprocessing`` pool with per-program trace caching.
 * :mod:`repro.core.figures` computing the paper's headline artifacts
   (Figure 5 speedup curves, Figure 6 queue-occupancy histograms, the
   Section 7 bypass-traffic table) as plain rows.
@@ -27,13 +34,17 @@ from repro.core.experiment import (
     TraceCache,
     run_sweep,
 )
+from repro.core.machine import PRESETS, FieldInfo, MachineSpec, Preset
 from repro.core.registry import (
     DecoupledArchitecture,
     ReferenceArchitecture,
     Simulator,
+    SpecArchitecture,
     architecture,
     architecture_names,
+    machine_spec,
     register_architecture,
+    resolve_architecture,
     simulate,
     unregister_architecture,
 )
@@ -43,11 +54,16 @@ from repro.core import figures
 __all__ = [
     "DecoupledArchitecture",
     "Experiment",
+    "FieldInfo",
+    "MachineSpec",
+    "PRESETS",
+    "Preset",
     "ReferenceArchitecture",
     "RunConfig",
     "RunResult",
     "Runner",
     "Simulator",
+    "SpecArchitecture",
     "SweepCell",
     "SweepResult",
     "SweepSpec",
@@ -55,7 +71,9 @@ __all__ = [
     "architecture",
     "architecture_names",
     "figures",
+    "machine_spec",
     "register_architecture",
+    "resolve_architecture",
     "run_sweep",
     "simulate",
     "unregister_architecture",

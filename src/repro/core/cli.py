@@ -4,10 +4,14 @@ Four subcommands drive the experiment API end to end:
 
 * ``list-programs`` — the available Perfect Club program models and the
   registered architectures they can run on.
-* ``list-archs`` — the registered architectures with their descriptions.
-* ``run`` — simulate one (program, architecture, latency) cell.
+* ``list-archs`` — the registered architectures with their canonical machine
+  specs; ``--schema`` adds every machine field, its valid range and each
+  preset's full field values.
+* ``run`` — simulate one (program, architecture, latency) cell.  The
+  architecture may be an inline machine spec (``dva@lanes=2,ports=2``).
 * ``sweep`` — execute a declarative grid and print per-cell summaries plus a
-  Figure 5-style speedup table.
+  Figure 5-style speedup table.  ``--axis name=v1,v2,...`` (repeatable) adds
+  machine-parameter sweep axes crossed with the latency axis.
 * ``figures`` — run the paper's headline grid and write the Figure 5,
   Figure 6 and Section 7 artifacts as CSV files.
 """
@@ -21,8 +25,14 @@ from typing import List, Optional, Sequence
 
 from repro.common.errors import ReproError
 from repro.core import figures as figures_module
+from repro.core import machine as machine_module
 from repro.core.experiment import Runner, SweepResult, SweepSpec
-from repro.core.registry import architecture, architecture_names, simulate
+from repro.core.registry import (
+    architecture,
+    architecture_names,
+    machine_spec,
+    simulate,
+)
 from repro.workloads.perfect_club import load_program, program_names
 
 
@@ -44,6 +54,12 @@ def build_parser() -> argparse.ArgumentParser:
     archs_parser = subparsers.add_parser(
         "list-archs", help="list the registered architectures"
     )
+    archs_parser.add_argument(
+        "--schema",
+        action="store_true",
+        help="print every machine field with its valid range and each "
+        "preset's full MachineSpec",
+    )
     archs_parser.set_defaults(handler=_cmd_list_archs)
 
     run_parser = subparsers.add_parser(
@@ -53,7 +69,8 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument(
         "--arch",
         default="dva",
-        help=f"architecture ({', '.join(architecture_names())})",
+        help=f"architecture ({', '.join(architecture_names())}) "
+        "or an inline spec like dva@lanes=2,ports=2,bypass=off",
     )
     run_parser.add_argument(
         "--latency", type=int, default=1, help="memory latency in cycles"
@@ -70,12 +87,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--programs", required=True, help="comma-separated program names"
     )
     sweep_parser.add_argument(
-        "--latencies", required=True, help="comma-separated memory latencies"
+        "--latencies",
+        default="",
+        help="comma-separated memory latencies (or give the latency axis "
+        "as --axis latency=v1,v2,...)",
     )
     sweep_parser.add_argument(
         "--arch",
         default="ref,dva",
-        help="comma-separated architectures (default: ref,dva)",
+        help="comma-separated architectures, registry names or inline specs "
+        "(default: ref,dva)",
+    )
+    sweep_parser.add_argument(
+        "--axis",
+        action="append",
+        default=[],
+        metavar="NAME=V1,V2,...",
+        help="extra sweep axis over a machine field, e.g. --axis lanes=1,2,4 "
+        "--axis ports=1,2 (repeatable; crossed with the latency axis)",
     )
     sweep_parser.add_argument(
         "--scale", type=float, default=1.0, help="trace scale factor"
@@ -137,9 +166,45 @@ def _cmd_list_programs(args: argparse.Namespace) -> int:
 
 
 def _cmd_list_archs(args: argparse.Namespace) -> int:
-    width = max(len(name) for name in architecture_names())
-    for name in architecture_names():
-        print(f"{name:{width}s}  {architecture(name).description}")
+    names = architecture_names()
+    width = max(len(name) for name in names)
+    for name in names:
+        simulator = architecture(name)
+        spec = getattr(simulator, "spec", None)
+        spec_text = spec.to_string() if spec is not None else "(not spec-backed)"
+        print(f"{name:{width}s}  {spec_text:24s}  {simulator.description}")
+    if not args.schema:
+        return 0
+
+    print("\nmachine fields (spec-string keys; aliases in parentheses):")
+    rows = [
+        {
+            "key": info.key,
+            "aliases": ",".join(a for a in (info.attribute, *info.aliases)
+                                if a != info.key) or "-",
+            "type": info.kind,
+            "range": info.range_text,
+            "default": info.default if info.kind != "bool"
+            else ("on" if info.default else "off"),
+            "families": ",".join(info.families),
+            "description": info.description,
+        }
+        for info in machine_module.field_infos()
+    ]
+    print(figures_module.format_table(rows))
+
+    print("\npresets (pinned fields marked *, others inherit the RunConfig):")
+    for name in names:
+        try:
+            spec = machine_spec(name)
+        except ReproError:
+            continue
+        pins = spec.pins()
+        fields = ", ".join(
+            f"{attr}={value}{'*' if attr in pins else ''}"
+            for attr, value in spec.effective().items()
+        )
+        print(f"  {name:{width}s}  family={spec.family}  {fields}")
     return 0
 
 
@@ -157,6 +222,7 @@ def _run_sweep(args: argparse.Namespace) -> SweepResult:
         latencies=args.latencies,
         architectures=args.arch,
         scale=args.scale,
+        axes=tuple(getattr(args, "axis", ()) or ()),
     )
     return Runner(jobs=args.jobs).run(spec)
 
@@ -177,8 +243,9 @@ def _summary_rows(sweep: SweepResult) -> List[dict]:
 
 def _print_speedup_table(sweep: SweepResult) -> None:
     baseline = "ref"
-    targets = [name for name in sweep.spec.architectures if name != baseline]
-    if baseline not in sweep.spec.architectures or not targets:
+    labels = sweep.architecture_labels()
+    targets = [name for name in labels if name != baseline]
+    if baseline not in labels or not targets:
         print("\n(speedup table needs 'ref' plus at least one other architecture)")
         return
     for target in targets:
@@ -188,9 +255,12 @@ def _print_speedup_table(sweep: SweepResult) -> None:
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
     sweep = _run_sweep(args)
-    print(f"sweep: {len(sweep)} cells "
-          f"({len(sweep.spec.programs)} programs x {len(sweep.spec.latencies)} "
-          f"latencies x {len(sweep.spec.architectures)} architectures)\n")
+    shape = (f"{len(sweep.spec.programs)} programs x "
+             f"{len(sweep.spec.latencies)} latencies x "
+             f"{len(sweep.spec.architectures)} architectures")
+    for name, values in sweep.spec.axes:
+        shape += f" x {len(values)} {name}"
+    print(f"sweep: {len(sweep)} cells ({shape})\n")
     print(figures_module.format_table(_summary_rows(sweep)))
     _print_speedup_table(sweep)
     if args.output:

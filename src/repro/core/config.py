@@ -6,6 +6,12 @@ parameter blocks.  Keeping both blocks in one frozen object lets a single
 configuration drive heterogeneous architectures — each adapter picks the block
 it understands and ignores the other — and makes sweep cells trivially
 picklable for the multiprocessing runner.
+
+A :class:`~repro.core.machine.MachineSpec` sits *above* this object: the
+fields a spec pins (lanes, ports, bypass, queue depths, ...) override the
+matching block values at simulation time, and everything the spec leaves
+unpinned falls through to the blocks here.  The blocks are therefore the
+sweep-wide baseline and the spec is the per-machine delta.
 """
 
 from __future__ import annotations

@@ -6,6 +6,16 @@ latencies {1, 10, 50, 100} × machines {REF, DVA} (§4–§7).  A
 base :class:`~repro.core.config.RunConfig`, and a :class:`Runner` executes
 every cell either serially or across a ``multiprocessing`` pool.
 
+Sweeps are not limited to the latency axis: any
+:class:`~repro.core.machine.MachineSpec` field can be an axis too, so
+``SweepSpec(programs=..., axes={"lanes": (1, 2, 4), "ports": (1, 2),
+"latency": (1, 50, 100)})`` crosses every machine parameter with every
+latency for every architecture in the grid.  Each cell's machine-axis values
+are pinned onto the architecture's spec before simulation, the resolved
+spec's canonical string becomes the cell's architecture label (``"dva"``,
+``"dva@lanes=2"``, ...), and the resolved spec itself travels with the
+:class:`~repro.core.result.RunResult` as provenance.
+
 Trace generation is the repeated cost across cells (every latency and
 architecture of one program re-simulates the same trace), so the runner builds
 each program's trace at most once per process: the serial path keeps a
@@ -29,45 +39,110 @@ from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from repro.common.errors import ConfigurationError
 from repro.core.config import RunConfig
-from repro.core.registry import Simulator, architecture
+from repro.core.machine import (
+    LATENCY_AXIS,
+    axis_combinations,
+    canonical_axis_name,
+    parse_axis_values,
+)
+from repro.core.registry import Simulator, resolve_architecture
 from repro.core.result import RunResult
 from repro.trace.record import Trace
 from repro.workloads.perfect_club import load_program
 
+Overrides = Tuple[Tuple[str, object], ...]
+Axes = Tuple[Tuple[str, Tuple[object, ...]], ...]
+
 
 @dataclass(frozen=True)
 class SweepCell:
-    """One point of a sweep grid."""
+    """One point of a sweep grid.
+
+    ``architecture`` is the grid's (base) architecture name; ``overrides``
+    holds the cell's machine-axis values as ``(axis, value)`` pairs.  The
+    executed result's architecture *label* is the base name when there are no
+    overrides, and the merged spec's canonical string otherwise.
+    """
 
     program: str
     latency: int
     architecture: str
+    overrides: Overrides = ()
+
+
+def _split_spec_list(text: str) -> Tuple[str, ...]:
+    """Split a comma-separated architecture list that may contain inline specs.
+
+    A bare comma separates entries, but a token containing ``=`` (and no
+    ``@`` of its own — that would start the next spec) is an assignment
+    belonging to the previous entry's ``@`` clause, so
+    ``"ref,dva@lanes=2,ports=2"`` is two entries and
+    ``"dva@bypass=off,ref@lanes=2"`` is two as well.
+    """
+    entries: List[str] = []
+    for token in (t.strip() for t in text.split(",")):
+        if not token:
+            continue
+        if "=" in token and "@" not in token and entries and "@" in entries[-1]:
+            entries[-1] += "," + token
+        else:
+            entries.append(token)
+    return tuple(entries)
 
 
 @dataclass(frozen=True)
 class SweepSpec:
-    """A (programs × latencies × architectures) grid.
+    """A (programs × latencies × machine axes × architectures) grid.
 
     Program names are normalized to the registry's upper-case form and
     architecture names to lower case, so specs parsed from a command line
-    compare equal to specs built in code.
+    compare equal to specs built in code.  ``architectures`` entries may be
+    registry names or inline machine-spec strings (``"dva@lanes=2"``).
+
+    ``axes`` declares extra sweep dimensions over
+    :class:`~repro.core.machine.MachineSpec` fields, as a mapping (or pair
+    sequence) of axis name → values, e.g. ``{"lanes": (1, 2, 4), "ports":
+    (1, 2)}``.  A ``"latency"`` axis is folded into :attr:`latencies` (it is
+    the one :class:`~repro.core.config.RunConfig` axis), so it may be given
+    either way but not both.
     """
 
     programs: Tuple[str, ...]
-    latencies: Tuple[int, ...]
+    latencies: Tuple[int, ...] = ()
     architectures: Tuple[str, ...] = ("ref", "dva")
     scale: float = 1.0
+    axes: Axes = ()
 
     def __post_init__(self) -> None:
         object.__setattr__(
             self, "programs", tuple(str(p).upper() for p in self.programs)
         )
         object.__setattr__(
-            self, "latencies", tuple(int(lat) for lat in self.latencies)
-        )
-        object.__setattr__(
             self, "architectures", tuple(str(a).lower() for a in self.architectures)
         )
+        latencies = tuple(int(lat) for lat in self.latencies)
+        axes: List[Tuple[str, Tuple[object, ...]]] = []
+        axis_items = (
+            self.axes.items() if isinstance(self.axes, Mapping) else self.axes
+        )
+        for name, values in axis_items:
+            if isinstance(values, (int, bool, str)):
+                values = (values,)
+            values = parse_axis_values(name, values)
+            key = canonical_axis_name(name)
+            if key == LATENCY_AXIS:
+                if latencies:
+                    raise ConfigurationError(
+                        "latencies given twice (both the 'latencies' field "
+                        "and a 'latency' axis)"
+                    )
+                latencies = tuple(int(v) for v in values)  # type: ignore[arg-type]
+                continue
+            if any(key == existing for existing, _ in axes):
+                raise ConfigurationError(f"sweep axis {key!r} declared twice")
+            axes.append((key, values))
+        object.__setattr__(self, "latencies", latencies)
+        object.__setattr__(self, "axes", tuple(axes))
         if not self.programs:
             raise ConfigurationError("a sweep needs at least one program")
         if not self.latencies:
@@ -86,8 +161,14 @@ class SweepSpec:
         latencies: str,
         architectures: str = "ref,dva",
         scale: float = 1.0,
+        axes: Sequence[str] = (),
     ) -> "SweepSpec":
-        """Parse comma-separated lists, as given on the command line."""
+        """Parse comma-separated lists, as given on the command line.
+
+        Each ``axes`` entry reads ``name=v1,v2,...`` (e.g. ``"lanes=1,2,4"``);
+        ``architectures`` may mix registry names and inline specs, with the
+        assignments of an inline spec's ``@`` clause kept together.
+        """
         try:
             parsed_latencies = tuple(
                 int(s) for s in (s.strip() for s in latencies.split(",")) if s
@@ -96,24 +177,42 @@ class SweepSpec:
             raise ConfigurationError(
                 f"latencies must be integers, got {latencies!r}"
             ) from exc
+        parsed_axes: List[Tuple[str, Tuple[object, ...]]] = []
+        for entry in axes:
+            name, eq, values = entry.partition("=")
+            if not eq or not name.strip():
+                raise ConfigurationError(
+                    f"malformed sweep axis {entry!r} (expected name=v1,v2,...)"
+                )
+            parsed_axes.append(
+                (name.strip(), tuple(v.strip() for v in values.split(",") if v.strip()))
+            )
         return cls(
             programs=tuple(p for p in (s.strip() for s in programs.split(",")) if p),
             latencies=parsed_latencies,
-            architectures=tuple(
-                a for a in (s.strip() for s in architectures.split(",")) if a
-            ),
+            architectures=_split_spec_list(architectures),
             scale=scale,
+            axes=tuple(parsed_axes),
         )
+
+    def axis_combinations(self) -> List[Overrides]:
+        """Every machine-axis combination, axis-major (``[()]`` with no axes)."""
+        return axis_combinations(self.axes)  # type: ignore[arg-type]
 
     def cells(self) -> Iterator[SweepCell]:
         """Grid cells in deterministic program-major order."""
+        combos = self.axis_combinations()
         for program in self.programs:
             for latency in self.latencies:
-                for arch in self.architectures:
-                    yield SweepCell(program, latency, arch)
+                for combo in combos:
+                    for arch in self.architectures:
+                        yield SweepCell(program, latency, arch, overrides=combo)
 
     def __len__(self) -> int:
-        return len(self.programs) * len(self.latencies) * len(self.architectures)
+        cells = len(self.programs) * len(self.latencies) * len(self.architectures)
+        for _, values in self.axes:
+            cells *= len(values)
+        return cells
 
 
 class TraceCache:
@@ -264,15 +363,36 @@ class Runner:
         for program in spec.programs:
             load_program(program)  # fail fast on unknown programs
 
-        # Resolve names once, up front: unknown architectures fail before any
-        # simulation, and workers receive the simulator objects themselves.
+        # Resolve names once, up front: unknown architectures, non-spec-backed
+        # machines under an axis sweep, and cells that collapse onto the same
+        # machine all fail before any simulation.  Workers receive the
+        # resolved simulator objects themselves (plain frozen dataclasses, so
+        # they pickle), not registry names.
+        machines: List[Simulator] = []
+        seen_labels: Dict[str, Tuple[str, Overrides]] = {}
+        for combo in spec.axis_combinations():
+            for arch in spec.architectures:
+                simulator = resolve_architecture(arch, combo)
+                previous = seen_labels.get(simulator.name)
+                if previous is not None:
+                    raise ConfigurationError(
+                        f"sweep cells {previous!r} and {(arch, combo)!r} both "
+                        f"resolve to machine {simulator.name!r}; every cell "
+                        "must be a distinct machine"
+                    )
+                seen_labels[simulator.name] = (arch, combo)
+                machines.append(simulator)
         pairs = [
-            (latency, architecture(arch))
+            (latency, simulator)
             for latency in spec.latencies
-            for arch in spec.architectures
+            for simulator in machines
         ]
 
-        if self.effective_jobs == 1 or len(pairs) * len(spec.programs) == 1:
+        # A single-cell grid gains nothing from the pool, but only skip it
+        # when adaptive: adaptive=False means "force the pool regardless"
+        # (e.g. to prove a custom simulator pickles into workers).
+        single_cell = len(pairs) * len(spec.programs) == 1
+        if self.effective_jobs == 1 or (self.adaptive and single_cell):
             per_batch = self._run_serial(spec, pairs, config)
         else:
             per_batch = self._run_parallel(spec, pairs, config)
@@ -365,10 +485,28 @@ class Runner:
 
 @dataclass
 class SweepResult:
-    """All cell results of one executed sweep, in grid order."""
+    """All cell results of one executed sweep, in grid order.
+
+    Construction builds a ``cell_key → result`` index once, so :meth:`get`
+    is O(1) per lookup instead of a linear scan, and a grid that produced
+    the same (program, latency, architecture-label) twice — which would make
+    lookups ambiguous — is rejected immediately.  The index assumes
+    :attr:`results` is not mutated afterwards.
+    """
 
     spec: SweepSpec
     results: List[RunResult]
+
+    def __post_init__(self) -> None:
+        index: Dict[tuple, RunResult] = {}
+        for result in self.results:
+            key = result.cell_key
+            if key in index:
+                raise ConfigurationError(
+                    f"sweep contains duplicate cell {key!r}"
+                )
+            index[key] = result
+        self._index = index
 
     def __iter__(self) -> Iterator[RunResult]:
         return iter(self.results)
@@ -377,15 +515,28 @@ class SweepResult:
         return len(self.results)
 
     def get(self, program: str, latency: int, architecture_name: str) -> RunResult:
-        """The result of one cell; raises when the cell was not in the grid."""
+        """The result of one cell; raises when the cell was not in the grid.
+
+        ``architecture_name`` is the cell's label: the architecture name for
+        plain grid cells, or the canonical spec string (``"dva@lanes=2"``)
+        for machine-axis cells.
+        """
         key = (program.upper(), int(latency), architecture_name.lower())
+        try:
+            return self._index[key]
+        except KeyError:
+            raise ConfigurationError(f"sweep has no cell {key!r}") from None
+
+    def architecture_labels(self) -> List[str]:
+        """Distinct architecture labels present in the results, in grid order."""
+        labels: List[str] = []
         for result in self.results:
-            if result.cell_key == key:
-                return result
-        raise ConfigurationError(f"sweep has no cell {key!r}")
+            if result.architecture not in labels:
+                labels.append(result.architecture)
+        return labels
 
     def by_architecture(self, architecture_name: str) -> List[RunResult]:
-        """All results produced by one architecture, in grid order."""
+        """All results produced by one architecture label, in grid order."""
         name = architecture_name.lower()
         return [result for result in self.results if result.architecture == name]
 
@@ -401,6 +552,7 @@ class SweepResult:
                 "latencies": list(self.spec.latencies),
                 "architectures": list(self.spec.architectures),
                 "scale": self.spec.scale,
+                "axes": [[name, list(values)] for name, values in self.spec.axes],
             },
             "results": [result.to_json() for result in self.results],
         }
@@ -415,6 +567,10 @@ class SweepResult:
             latencies=tuple(spec_data["latencies"]),  # type: ignore[arg-type]
             architectures=tuple(spec_data["architectures"]),  # type: ignore[arg-type]
             scale=float(spec_data["scale"]),  # type: ignore[arg-type]
+            axes=tuple(
+                (str(name), tuple(values))
+                for name, values in spec_data.get("axes", [])  # type: ignore[union-attr]
+            ),
         )
         results = [RunResult.from_json(item) for item in data["results"]]  # type: ignore[union-attr]
         return cls(spec=spec, results=results)

@@ -24,8 +24,12 @@ Row = Dict[str, object]
 
 
 def _require_architecture(sweep: SweepResult, name: str) -> None:
-    if name.lower() not in sweep.spec.architectures:
-        known = ", ".join(sweep.spec.architectures)
+    # Check the labels the sweep actually produced, not the spec's base
+    # architecture names: a machine-axis sweep labels its cells with canonical
+    # spec strings ("dva@lanes=2"), and those are valid figure targets too.
+    labels = sweep.architecture_labels()
+    if name.lower() not in labels:
+        known = ", ".join(labels)
         raise ConfigurationError(
             f"sweep does not include architecture {name!r} (swept: {known})"
         )

@@ -7,21 +7,35 @@ result types).  This module hides both behind one shape::
 
     result = architecture("dva").simulate(trace, RunConfig(latency=50))
 
-Architectures are looked up by name in a process-wide registry seeded with the
+Architectures are *data*: every built-in name is a
+:class:`~repro.core.machine.MachineSpec` preset resolved into a
+:class:`SpecArchitecture`, and inline spec strings resolve on the fly, so
+
+    architecture("dva@lanes=2,ports=2,bypass=off")
+
+is a machine nobody had to write code for.  The registry is seeded with the
 paper's three machines — ``"ref"``, ``"dva"`` (store→load bypass enabled,
 paper §7) and ``"dva-nobypass"`` (the §5 baseline decoupled machine) — plus
-two engine-derived variants, ``"ref-2lane"`` (two-lane vector unit) and
-``"dva-2port"`` (dual memory port), and is extensible through
-:func:`register_architecture` for ablation studies.
+two engine-derived variants, ``"ref-2lane"`` and ``"dva-2port"``, and stays
+extensible through :func:`register_architecture` (now a thin wrapper over
+spec resolution: pass a :class:`MachineSpec` or any ready-made simulator).
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Protocol, runtime_checkable
+from typing import Dict, List, Mapping, Optional, Protocol, Tuple, Union, runtime_checkable
 
 from repro.common.errors import ConfigurationError
 from repro.core.config import RunConfig
+from repro.core.machine import (
+    PRESETS,
+    MachineSpec,
+    format_override,
+    lookup_field,
+    parse_assignments,
+)
 from repro.core.result import RunResult
 from repro.dva.simulator import DecoupledSimulator
 from repro.memory.model import MemoryModel
@@ -47,13 +61,67 @@ class Simulator(Protocol):
 
 
 @dataclass(frozen=True)
-class ReferenceArchitecture:
-    """Adapter exposing :class:`ReferenceSimulator` through the protocol.
+class SpecArchitecture:
+    """A :class:`MachineSpec` resolved into a runnable :class:`Simulator`.
 
-    ``lanes`` and ``memory_ports`` pin the machine's datapath width so that
-    registry names always mean what they say (``"ref"`` is the paper's
-    one-lane, one-port machine; ``"ref-2lane"`` has a two-lane vector unit);
-    every other reference parameter is taken from the run configuration.
+    The spec's pinned fields override the matching block of the
+    :class:`~repro.core.config.RunConfig` (so registry names always mean what
+    they say); everything it leaves unpinned is taken from the run
+    configuration.  The adapter is a frozen dataclass of plain data, so sweep
+    cells pickle into pool workers whether the spec came from a preset, an
+    inline string or a runtime registration.
+    """
+
+    name: str
+    description: str
+    spec: MachineSpec
+
+    # Convenience passthroughs so callers (and older code) can introspect the
+    # machine without reaching into ``spec``.
+    @property
+    def family(self) -> str:
+        return self.spec.family
+
+    @property
+    def lanes(self) -> Optional[int]:
+        return self.spec.lanes
+
+    @property
+    def memory_ports(self) -> Optional[int]:
+        return self.spec.memory_ports
+
+    @property
+    def bypass(self) -> Optional[bool]:
+        return self.spec.bypass
+
+    def simulate(self, trace: Trace, config: RunConfig) -> RunResult:
+        memory = MemoryModel(latency=config.latency)
+        provenance = self.spec.to_json()
+        if self.spec.family == "ref":
+            simulator = ReferenceSimulator(
+                memory, config=self.spec.apply_reference(config.reference)
+            )
+            return RunResult.from_reference(
+                simulator.run(trace), architecture=self.name, spec=provenance
+            )
+        simulator = DecoupledSimulator(
+            memory, config=self.spec.apply_decoupled(config.decoupled)
+        )
+        return RunResult.from_decoupled(
+            simulator.run(trace), architecture=self.name, spec=provenance
+        )
+
+
+# -- deprecated adapter shims ----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ReferenceArchitecture:
+    """Deprecated adapter-kwargs shim; use a :class:`MachineSpec` instead.
+
+    Kept for one release so existing call sites
+    (``ReferenceArchitecture(lanes=2)``) keep working; it simply resolves the
+    equivalent ``MachineSpec(family="ref", ...)`` and delegates.
     """
 
     name: str = "ref"
@@ -61,24 +129,32 @@ class ReferenceArchitecture:
     lanes: int = 1
     memory_ports: int = 1
 
-    def simulate(self, trace: Trace, config: RunConfig) -> RunResult:
-        reference = config.reference.with_variant(self.lanes, self.memory_ports)
-        simulator = ReferenceSimulator(
-            MemoryModel(latency=config.latency), config=reference
+    def __post_init__(self) -> None:
+        warnings.warn(
+            "ReferenceArchitecture is deprecated and will be removed next "
+            "release; use MachineSpec.from_string('ref@lanes=..,ports=..') "
+            "with register_architecture instead",
+            DeprecationWarning,
+            stacklevel=3,
         )
-        return RunResult.from_reference(simulator.run(trace), architecture=self.name)
+
+    def as_spec(self) -> MachineSpec:
+        return MachineSpec(
+            family="ref", lanes=self.lanes, memory_ports=self.memory_ports
+        )
+
+    def simulate(self, trace: Trace, config: RunConfig) -> RunResult:
+        resolved = SpecArchitecture(self.name, self.description, self.as_spec())
+        return resolved.simulate(trace, config)
 
 
 @dataclass(frozen=True)
 class DecoupledArchitecture:
-    """Adapter exposing :class:`DecoupledSimulator` through the protocol.
+    """Deprecated adapter-kwargs shim; use a :class:`MachineSpec` instead.
 
-    ``bypass`` pins the store→load bypass setting regardless of what the
-    caller's :class:`~repro.dva.config.DecoupledConfig` says, so that the
-    registry names ``"dva"`` and ``"dva-nobypass"`` always mean what they say;
-    ``lanes`` and ``memory_ports`` pin the datapath width the same way
-    (``"dva-2port"`` has two memory ports).  Every other decoupled parameter
-    is taken from the run configuration.
+    Kept for one release so existing call sites
+    (``DecoupledArchitecture(memory_ports=2)``) keep working; it resolves the
+    equivalent ``MachineSpec(family="dva", ...)`` and delegates.
     """
 
     name: str = "dva"
@@ -87,26 +163,56 @@ class DecoupledArchitecture:
     lanes: int = 1
     memory_ports: int = 1
 
+    def __post_init__(self) -> None:
+        warnings.warn(
+            "DecoupledArchitecture is deprecated and will be removed next "
+            "release; use MachineSpec.from_string('dva@lanes=..,bypass=..') "
+            "with register_architecture instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+
+    def as_spec(self) -> MachineSpec:
+        return MachineSpec(
+            family="dva",
+            bypass=self.bypass,
+            lanes=self.lanes,
+            memory_ports=self.memory_ports,
+        )
+
     def simulate(self, trace: Trace, config: RunConfig) -> RunResult:
-        decoupled = config.decoupled.with_bypass(self.bypass).with_variant(
-            self.lanes, self.memory_ports
-        )
-        simulator = DecoupledSimulator(
-            MemoryModel(latency=config.latency), config=decoupled
-        )
-        return RunResult.from_decoupled(simulator.run(trace), architecture=self.name)
+        resolved = SpecArchitecture(self.name, self.description, self.as_spec())
+        return resolved.simulate(trace, config)
+
+
+# -- the registry ----------------------------------------------------------------------
 
 
 _REGISTRY: Dict[str, Simulator] = {}
 
 
-def register_architecture(simulator: Simulator, *, replace: bool = False) -> Simulator:
-    """Add ``simulator`` to the registry under its ``name``.
+def register_architecture(
+    simulator: Union[Simulator, MachineSpec],
+    *,
+    name: Optional[str] = None,
+    description: str = "",
+    replace: bool = False,
+) -> Simulator:
+    """Add a simulator — or a :class:`MachineSpec` to resolve — to the registry.
 
-    Names are case-insensitive.  Registering an existing name raises unless
-    ``replace=True``, to catch accidental collisions between extensions.
-    Returns the simulator so the call can be used as a decorator tail.
+    A :class:`MachineSpec` is resolved into a :class:`SpecArchitecture` first
+    (``name`` defaults to the spec's canonical string), so registration is a
+    thin wrapper over spec resolution.  Names are case-insensitive.
+    Registering an existing name raises unless ``replace=True``, to catch
+    accidental collisions between extensions.  Returns the registered
+    simulator so the call can be used as a decorator tail.
     """
+    if isinstance(simulator, MachineSpec):
+        simulator = SpecArchitecture(
+            name=name if name is not None else simulator.to_string(),
+            description=description,
+            spec=simulator,
+        )
     key = simulator.name.lower()
     if not key:
         raise ConfigurationError("architecture name cannot be empty")
@@ -125,17 +231,121 @@ def unregister_architecture(name: str) -> None:
 
 
 def architecture(name: str) -> Simulator:
-    """Look up an architecture by (case-insensitive) name."""
+    """Look up an architecture by name, or resolve an inline spec string.
+
+    Registered names (case-insensitive) win; anything containing ``@`` is
+    parsed as a ``base@key=value,...`` machine spec — the base may be any
+    registered spec-backed architecture (including runtime registrations),
+    not just the built-in presets — and resolved on the fly without being
+    registered.
+    """
+    key = name.lower()
     try:
-        return _REGISTRY[name.lower()]
-    except KeyError as exc:
+        return _REGISTRY[key]
+    except KeyError:
+        if "@" in key:
+            spec = _parse_inline_spec(key)
+            return SpecArchitecture(
+                name=spec.to_string(),
+                description=f"inline spec ({spec.to_string()})",
+                spec=spec,
+            )
         known = ", ".join(sorted(_REGISTRY))
         raise ConfigurationError(
-            f"unknown architecture {name!r} (known: {known})"
-        ) from exc
+            f"unknown architecture {name!r} (known: {known}; "
+            "inline specs look like 'dva@lanes=2,ports=2')"
+        ) from None
 
 
-_BUILTIN_ORDER = ("ref", "dva", "dva-nobypass", "ref-2lane", "dva-2port")
+def _parse_inline_spec(text: str) -> MachineSpec:
+    """Parse ``base@key=value,...`` resolving the base through the registry.
+
+    A registered spec-backed base (runtime registrations included) takes
+    precedence; otherwise the built-in presets are tried, so the plain
+    ``MachineSpec.from_string`` grammar remains a subset of this one.
+    """
+    base, _, assignments = text.partition("@")
+    registered = _REGISTRY.get(base.strip())
+    if registered is None:
+        return MachineSpec.from_string(text)
+    spec = getattr(registered, "spec", None)
+    if not isinstance(spec, MachineSpec):
+        raise ConfigurationError(
+            f"architecture {base.strip()!r} is not spec-backed; it cannot "
+            "be extended with an @-clause"
+        )
+    return spec.with_pins(**parse_assignments(assignments, text))
+
+
+def resolve_architecture(
+    name: str, overrides: Union[Mapping[str, object], Tuple[Tuple[str, object], ...]] = ()
+) -> Simulator:
+    """Resolve an architecture name (or inline spec) plus sweep-axis overrides.
+
+    Without overrides this is :func:`architecture`.  With overrides the base
+    must be spec-backed (a :class:`SpecArchitecture`); the resolved
+    simulator's name — the sweep cell's label — is the *base name* plus the
+    override assignments (``"dva-2port@lanes=2"``), not the merged spec's
+    canonical string, so labels keep the registered base's identity: two
+    bases whose canonical strings coincide (e.g. a fully-pinned preset and a
+    partially-pinned registration that inherits the rest from the RunConfig)
+    stay distinguishable, and every label re-resolves through
+    :func:`architecture` to the same machine.
+    """
+    base = architecture(name)
+    pins = dict(overrides)
+    if not pins:
+        return base
+    spec = getattr(base, "spec", None)
+    if not isinstance(spec, MachineSpec):
+        raise ConfigurationError(
+            f"architecture {name!r} is not spec-backed; machine-axis sweeps "
+            "need a MachineSpec preset or inline spec"
+        )
+    merged = spec.with_pins(**pins)
+    # Overrides the base already pins at that exact value change nothing, so
+    # they are elided from the label ("dva" stays "dva" at lanes=1); any
+    # override that does change the machine appears.  Distinct axis combos
+    # therefore always get distinct labels under one base: at most one value
+    # per axis can equal the base's pin.
+    visible = {
+        key: value
+        for key, value in pins.items()
+        if getattr(spec, lookup_field(key).attribute) != value
+    }
+    if not visible:
+        return SpecArchitecture(name=base.name, description=base.description, spec=merged)
+    # When the base name already carries an @-clause, rebuild it rather than
+    # blindly appending: an override of a field the clause assigns must
+    # replace that assignment, or the label would carry the key twice
+    # ("dva@lanes=2,lanes=1") — misleading and unparseable.
+    prefix, _, clause = base.name.partition("@")
+    parts: List[str] = []
+    if clause:
+        existing = parse_assignments(clause, base.name)
+        for key in visible:
+            existing.pop(lookup_field(key).attribute, None)
+        parts = [format_override(attr, value) for attr, value in existing.items()]
+    parts.extend(format_override(key, value) for key, value in visible.items())
+    return SpecArchitecture(
+        name=f"{prefix}@{','.join(parts)}",
+        description=base.description,
+        spec=merged,
+    )
+
+
+def machine_spec(name: str) -> MachineSpec:
+    """The :class:`MachineSpec` behind a registered name or inline string."""
+    simulator = architecture(name)
+    spec = getattr(simulator, "spec", None)
+    if not isinstance(spec, MachineSpec):
+        raise ConfigurationError(
+            f"architecture {name!r} is not described by a MachineSpec"
+        )
+    return spec
+
+
+_BUILTIN_ORDER = tuple(PRESETS)
 
 
 def architecture_names() -> List[str]:
@@ -163,28 +373,7 @@ def simulate(
     return architecture(architecture_name).simulate(trace, config)
 
 
-register_architecture(ReferenceArchitecture())
-register_architecture(DecoupledArchitecture())
-register_architecture(
-    DecoupledArchitecture(
-        name="dva-nobypass",
-        description="decoupled vector machine without the bypass (paper §5)",
-        bypass=False,
+for _preset in PRESETS.values():
+    register_architecture(
+        _preset.spec, name=_preset.name, description=_preset.description
     )
-)
-# Engine-derived variants: one configuration knob over the shared
-# ResourcePool/MemoryFabric primitives, not new simulators.
-register_architecture(
-    ReferenceArchitecture(
-        name="ref-2lane",
-        description="reference machine with a two-lane vector unit",
-        lanes=2,
-    )
-)
-register_architecture(
-    DecoupledArchitecture(
-        name="dva-2port",
-        description="decoupled machine (bypass on) with two memory ports",
-        memory_ports=2,
-    )
-)

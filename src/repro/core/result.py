@@ -14,7 +14,7 @@ result in :attr:`detail`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Mapping
+from typing import Dict, Mapping, Optional
 
 from repro.common.errors import SimulationError
 from repro.dva.result import DecoupledResult
@@ -38,6 +38,9 @@ class RunResult:
         detail: the underlying result's full ``to_json()`` payload —
             architecture-specific keys such as ``avdq_histogram`` (DVA) or
             ``category_cycles`` (REF) live here.
+        spec: provenance of the machine that produced the run — the resolved
+            :class:`~repro.core.machine.MachineSpec` as its ``to_json()``
+            payload — or ``None`` for simulators not described by a spec.
     """
 
     architecture: str
@@ -49,25 +52,37 @@ class RunResult:
     scalar_cache_hits: int = 0
     scalar_cache_misses: int = 0
     detail: Dict[str, object] = field(default_factory=dict)
+    spec: Optional[Dict[str, object]] = None
 
     # -- constructors ----------------------------------------------------------------
 
     @classmethod
     def from_reference(
-        cls, result: ReferenceResult, architecture: str = "ref"
+        cls,
+        result: ReferenceResult,
+        architecture: str = "ref",
+        spec: Optional[Dict[str, object]] = None,
     ) -> "RunResult":
         """Wrap a reference-architecture result."""
-        return cls._from_detail(architecture, result.to_json())
+        return cls._from_detail(architecture, result.to_json(), spec=spec)
 
     @classmethod
     def from_decoupled(
-        cls, result: DecoupledResult, architecture: str = "dva"
+        cls,
+        result: DecoupledResult,
+        architecture: str = "dva",
+        spec: Optional[Dict[str, object]] = None,
     ) -> "RunResult":
         """Wrap a decoupled-architecture result."""
-        return cls._from_detail(architecture, result.to_json())
+        return cls._from_detail(architecture, result.to_json(), spec=spec)
 
     @classmethod
-    def _from_detail(cls, architecture: str, detail: Dict[str, object]) -> "RunResult":
+    def _from_detail(
+        cls,
+        architecture: str,
+        detail: Dict[str, object],
+        spec: Optional[Dict[str, object]] = None,
+    ) -> "RunResult":
         return cls(
             architecture=architecture,
             program=str(detail["program"]),
@@ -78,6 +93,7 @@ class RunResult:
             scalar_cache_hits=int(detail["scalar_cache_hits"]),  # type: ignore[arg-type]
             scalar_cache_misses=int(detail["scalar_cache_misses"]),  # type: ignore[arg-type]
             detail=detail,
+            spec=spec,
         )
 
     # -- derived quantities -----------------------------------------------------------
@@ -106,7 +122,13 @@ class RunResult:
 
     def to_json(self) -> Dict[str, object]:
         """A dictionary that survives ``json.dumps``/``json.loads`` unchanged."""
-        return {"architecture": self.architecture, "detail": dict(self.detail)}
+        payload: Dict[str, object] = {
+            "architecture": self.architecture,
+            "detail": dict(self.detail),
+        }
+        if self.spec is not None:
+            payload["spec"] = dict(self.spec)
+        return payload
 
     @classmethod
     def from_json(cls, data: Mapping[str, object]) -> "RunResult":
@@ -114,4 +136,9 @@ class RunResult:
         detail = data["detail"]
         if not isinstance(detail, Mapping):
             raise SimulationError("RunResult JSON payload lacks a 'detail' mapping")
-        return cls._from_detail(str(data["architecture"]), dict(detail))
+        spec = data.get("spec")
+        return cls._from_detail(
+            str(data["architecture"]),
+            dict(detail),
+            spec=dict(spec) if isinstance(spec, Mapping) else None,
+        )

@@ -1,4 +1,13 @@
-"""Configuration of the decoupled vector architecture."""
+"""Configuration of the decoupled vector architecture.
+
+This is the *mechanism* layer: frozen blocks of every decoupled-machine
+parameter, consumed by :class:`~repro.dva.simulator.DecoupledSimulator`.
+The declarative layer above it — :class:`~repro.core.machine.MachineSpec`
+with family ``"dva"`` — pins fields onto these blocks via
+:meth:`~repro.core.machine.MachineSpec.apply_decoupled`; prefer describing
+machines there (``"dva@ports=2,avdq=4,bypass=off"``) over constructing
+variant blocks by hand.
+"""
 
 from __future__ import annotations
 

@@ -1,4 +1,13 @@
-"""Configuration of the reference vector architecture."""
+"""Configuration of the reference vector architecture.
+
+This is the *mechanism* layer: a frozen block of every reference-machine
+parameter, consumed by :class:`~repro.refarch.simulator.ReferenceSimulator`.
+The declarative layer above it — :class:`~repro.core.machine.MachineSpec`
+with family ``"ref"`` — pins fields onto this block via
+:meth:`~repro.core.machine.MachineSpec.apply_reference`; prefer describing
+machines there (``"ref@lanes=2,chaining=on"``) over constructing variant
+blocks by hand.
+"""
 
 from __future__ import annotations
 

@@ -75,6 +75,75 @@ class TestInProcess:
         assert excinfo.value.code == 2
         assert "unknown architecture" in capsys.readouterr().err
 
+    def test_run_accepts_inline_machine_spec(self, capsys):
+        code = main(
+            ["run", "--program", "trfd", "--arch", "dva@lanes=2,ports=2",
+             "--latency", "50", "--scale", "0.2"]
+        )
+        assert code == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["architecture"] == "dva@lanes=2,ports=2"
+
+    def test_invalid_inline_spec_exits_with_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "--program", "trfd", "--arch", "dva@lanes=0"])
+        assert excinfo.value.code == 2
+        assert "lanes" in capsys.readouterr().err
+
+    def test_list_archs_default_listing(self, capsys):
+        assert main(["list-archs"]) == 0
+        out = capsys.readouterr().out
+        assert "dva-2port" in out
+        assert "dva@ports=2" in out  # canonical spec string per preset
+
+    def test_list_archs_schema(self, capsys):
+        assert main(["list-archs", "--schema"]) == 0
+        out = capsys.readouterr().out
+        assert "machine fields" in out
+        assert "1..64" in out  # lanes range
+        assert "on|off" in out  # bypass range
+        assert "presets" in out
+        assert "family=dva" in out
+        assert "memory_ports=2*" in out  # dva-2port pins its ports
+
+    def test_multi_axis_sweep_end_to_end(self, capsys, tmp_path):
+        """CLI → Runner(jobs=2) → JSON → figures, over lanes × ports × latency."""
+        output = tmp_path / "axes.json"
+        code = main(
+            ["sweep", "--programs", "trfd", "--latencies", "1,50",
+             "--arch", "dva", "--axis", "lanes=1,2", "--axis", "ports=1,2",
+             "--scale", "0.2", "--jobs", "2", "--output", str(output)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "8 cells" in out
+        assert "2 lanes x 2 ports" in out
+        assert "dva@lanes=2,ports=2" in out
+
+        from repro.core import figures
+        from repro.core.experiment import SweepResult
+
+        rebuilt = SweepResult.from_json(json.loads(output.read_text()))
+        assert rebuilt.spec.axes == (("lanes", (1, 2)), ("ports", (1, 2)))
+        rows = figures.speedup_table(
+            rebuilt, baseline="dva", target="dva@lanes=2,ports=2"
+        )
+        assert rows and all(row["speedup"] >= 1.0 for row in rows)
+
+    def test_sweep_latency_axis_without_latencies_flag(self, capsys):
+        code = main(
+            ["sweep", "--programs", "trfd", "--arch", "ref,dva",
+             "--axis", "latency=1,50", "--scale", "0.2"]
+        )
+        assert code == 0
+        assert "4 cells" in capsys.readouterr().out
+
+    def test_sweep_without_any_latency_errors_cleanly(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["sweep", "--programs", "trfd", "--arch", "ref"])
+        assert excinfo.value.code == 2
+        assert "memory latency" in capsys.readouterr().err
+
 
 class TestSubprocess:
     def test_python_dash_m_repro(self):

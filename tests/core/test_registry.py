@@ -92,6 +92,25 @@ class TestRegistration:
         with pytest.raises(ConfigurationError, match="empty"):
             register_architecture(_ConstantArchitecture(name=""))
 
+    def test_register_machine_spec_directly(self, trace):
+        """register_architecture is a thin wrapper over spec resolution."""
+        from repro.core import MachineSpec
+
+        register_architecture(
+            MachineSpec.from_string("dva@ports=2,bypass=off"),
+            name="dva-wide",
+            description="two ports, no bypass",
+        )
+        try:
+            registered = architecture("dva-wide")
+            assert registered.spec.memory_ports == 2
+            assert registered.spec.bypass is False
+            inline = simulate(trace, "dva@ports=2,bypass=off", latency=50)
+            named = simulate(trace, "dva-wide", latency=50)
+            assert named.total_cycles == inline.total_cycles
+        finally:
+            unregister_architecture("dva-wide")
+
 
 class TestAdapters:
     """The adapters must reproduce the hand-wired simulator calls exactly."""
