@@ -1,14 +1,23 @@
 #!/usr/bin/env python
 """Benchmark the sweep runner and record the result in BENCH_sweep.json.
 
-Times a small REF+DVA sweep (two programs, three latencies) on a serial
-runner (``jobs=1``) and on a ``jobs=N`` runner.  Each runner executes the
-sweep ``--repeats`` times and both the cold first run and the best
-(minimum) of the remaining runs are recorded — the same methodology for
-both modes, so the comparison is between like and like: cold-vs-cold shows
-startup cost (trace building, and for the parallel runner its persistent
-worker pool), warm-vs-warm shows the steady-state throughput a long-lived
-runner delivers.
+Two benchmarks, one report:
+
+1. **Runner modes** — times a small REF+DVA sweep (two programs, three
+   latencies) on a serial runner (``jobs=1``) and on a ``jobs=N`` runner.
+   Each runner executes the sweep ``--repeats`` times and both the cold
+   first run and the best (minimum) of the remaining runs are recorded —
+   the same methodology for both modes, so the comparison is between like
+   and like: cold-vs-cold shows startup cost (trace building, and for the
+   parallel runner its persistent worker pool), warm-vs-warm shows the
+   steady-state throughput a long-lived runner delivers.
+
+2. **Result store** — times the paper's full six-program sweep twice
+   through a fresh :class:`~repro.store.ResultStore` in a temporary
+   directory: once cold (every cell simulated and persisted) and once warm
+   (every cell answered by the store).  The ``store`` section of the report
+   records both timings and the warm-over-cold speedup — the headline
+   number for resumable sweeps.
 
 ``jobs`` is a ceiling: the runner caps workers to the CPUs actually
 available, so on a one-CPU machine the ``jobs2`` rows measure the runner's
@@ -25,12 +34,15 @@ import argparse
 import json
 import os
 import platform
+import shutil
 import sys
+import tempfile
 import time
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "src"))
 
-from repro import Runner, SweepSpec  # noqa: E402
+from repro import ResultStore, Runner, SweepSpec  # noqa: E402
+from repro.workloads.perfect_club import program_names  # noqa: E402
 
 
 def _timed_run(label: str, runner: Runner, spec: SweepSpec) -> dict:
@@ -71,6 +83,47 @@ def _time_runners(
         if label in best:
             rows.append(best[label])
     return rows
+
+
+def _bench_store(scale: float) -> dict:
+    """Cold-vs-warm timings of the full six-program sweep through the store.
+
+    A fresh temporary store isolates the measurement from any real cache the
+    machine carries, and fresh runners for each pass make the warm run model
+    the real resumable-sweep scenario: a brand-new process that finds every
+    cell already persisted (it never even builds traces).
+    """
+    spec = SweepSpec.from_strings(
+        programs=",".join(program_names()),
+        latencies="1,50,100",
+        architectures="ref,dva",
+        scale=scale,
+    )
+    root = tempfile.mkdtemp(prefix="repro-store-bench-")
+    try:
+        with Runner(jobs=1, store=ResultStore(root)) as runner:
+            cold = _timed_run("store_cold", runner, spec)
+        with Runner(jobs=1, store=ResultStore(root)) as runner:
+            warm_sweep_start = time.perf_counter()
+            warm_sweep = runner.run(spec)
+            warm_elapsed = time.perf_counter() - warm_sweep_start
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+    warm = {
+        "label": "store_warm",
+        "seconds": round(warm_elapsed, 4),
+        "cells": len(warm_sweep),
+        "cells_per_second": round(len(warm_sweep) / warm_elapsed, 2)
+        if warm_elapsed else None,
+        "cached_cells": warm_sweep.cached_count,
+        "simulated_cells": warm_sweep.simulated_count,
+    }
+    return {
+        "benchmark": "result store (6 programs x 3 latencies x ref,dva)",
+        "runs": [cold, warm],
+        "warm_speedup_over_cold": round(cold["seconds"] / warm["seconds"], 1)
+        if warm["seconds"] else None,
+    }
 
 
 def main() -> int:
@@ -133,16 +186,19 @@ def main() -> int:
         "jobs_speedup_over_serial": round(
             serial_best["seconds"] / parallel_best["seconds"], 4
         ),
+        "store": _bench_store(args.scale),
     }
     with open(args.output, "w") as handle:
         json.dump(report, handle, indent=2)
         handle.write("\n")
 
-    for run in runs:
+    for run in runs + report["store"]["runs"]:
         print(f"{run['label']:28s} {run['seconds']:8.4f}s  "
               f"{run['cells_per_second']} cells/s")
     print(f"jobs speedup over serial (warm best): "
           f"{report['jobs_speedup_over_serial']}x")
+    print(f"store warm speedup over cold: "
+          f"{report['store']['warm_speedup_over_cold']}x")
     print(f"wrote {args.output}")
     return 0
 

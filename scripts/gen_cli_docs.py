@@ -1,0 +1,187 @@
+#!/usr/bin/env python
+"""Generate ``docs/cli.md`` from the live argparse tree.
+
+The CLI reference is *derived*, never hand-written: this script walks the
+parser that :func:`repro.core.cli.build_parser` actually builds — every
+subcommand, nested subcommand, flag, default and help string — and renders
+it as markdown.  CI runs ``--check`` so the checked-in file can never drift
+from the real interface: adding a flag without regenerating the docs fails
+the build.
+
+    python scripts/gen_cli_docs.py            # rewrite docs/cli.md
+    python scripts/gen_cli_docs.py --check    # exit 1 if docs/cli.md is stale
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List
+
+# Usage strings wrap at the terminal width; pin it so the generated file is
+# identical no matter where the script runs.
+os.environ["COLUMNS"] = "80"
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "src"))
+
+from repro.core.cli import build_parser  # noqa: E402
+
+DEFAULT_OUTPUT = os.path.join(
+    os.path.dirname(__file__), os.pardir, "docs", "cli.md"
+)
+
+HEADER = """\
+# CLI reference — `python -m repro`
+
+<!-- GENERATED FILE — do not edit by hand.
+     Regenerate with:  python scripts/gen_cli_docs.py
+     CI runs `python scripts/gen_cli_docs.py --check` and fails when this
+     file is stale. -->
+"""
+
+
+def _escape(text: str) -> str:
+    # Python 3.10's BooleanOptionalAction appends "(default: %(default)s)"
+    # to help strings; later versions do not.  Strip it so the generated
+    # file is identical on every supported interpreter (the table has its
+    # own default column anyway).
+    text = text.replace("(default: %(default)s)", "").strip()
+    return text.replace("|", "\\|").replace("\n", " ")
+
+
+def _value_placeholder(action: argparse.Action) -> str:
+    """The argument placeholder an option takes, or '' for pure flags."""
+    if action.nargs == 0 or isinstance(
+        action, (argparse._StoreTrueAction, argparse._StoreFalseAction)
+    ):
+        return ""
+    if isinstance(action, argparse.BooleanOptionalAction):
+        return ""
+    metavar = action.metavar
+    if metavar is None:
+        metavar = (action.dest or "value").upper()
+    return f" {metavar}"
+
+
+def _default_text(action: argparse.Action) -> str:
+    if isinstance(action, argparse._HelpAction):
+        return "-"
+    if action.required:
+        return "required"
+    if action.default is None or action.default == "" or action.default == []:
+        return "-"
+    if isinstance(action.default, bool):
+        return "on" if action.default else "off"
+    return f"`{action.default}`"
+
+
+def _options_table(parser: argparse.ArgumentParser) -> List[str]:
+    rows: List[str] = []
+    for action in parser._actions:
+        if isinstance(action, (argparse._SubParsersAction, argparse._HelpAction)):
+            continue
+        if action.option_strings:
+            name = ", ".join(
+                f"`{opt}{_value_placeholder(action)}`"
+                for opt in action.option_strings
+            )
+        else:
+            name = f"`{action.dest}`"
+        rows.append(
+            f"| {name} | {_default_text(action)} | "
+            f"{_escape(action.help or '')} |"
+        )
+    if not rows:
+        return []
+    return [
+        "| option | default | description |",
+        "| --- | --- | --- |",
+        *rows,
+    ]
+
+
+def _subparsers_action(
+    parser: argparse.ArgumentParser,
+) -> argparse._SubParsersAction | None:
+    for action in parser._actions:
+        if isinstance(action, argparse._SubParsersAction):
+            return action
+    return None
+
+
+def _render(parser: argparse.ArgumentParser, title: str, depth: int) -> List[str]:
+    lines: List[str] = ["#" * depth + f" `{title}`", ""]
+    description = (parser.description or "").strip()
+    if description and depth > 2:
+        lines += [description, ""]
+    usage = parser.format_usage().removeprefix("usage: ").rstrip()
+    lines += ["```", usage, "```", ""]
+    table = _options_table(parser)
+    if table:
+        lines += table + [""]
+    subparsers = _subparsers_action(parser)
+    if subparsers is not None:
+        seen = set()
+        for name, sub in subparsers.choices.items():
+            if id(sub) in seen:  # aliases share one parser; document once
+                continue
+            seen.add(id(sub))
+            lines += _render(sub, f"{title} {name}", depth + 1)
+    return lines
+
+
+def generate() -> str:
+    parser = build_parser()
+    lines = [HEADER]
+    description = (parser.description or "").strip()
+    if description:
+        lines += [description, ""]
+    lines += [
+        "Installed as the `repro` console script; `python -m repro` is "
+        "equivalent.",
+        "",
+    ]
+    lines += _render(parser, "python -m repro", 2)[2:]  # skip duplicate title
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def main() -> int:
+    cli = argparse.ArgumentParser(description=__doc__)
+    cli.add_argument(
+        "--output", default=DEFAULT_OUTPUT, help="where to write the markdown"
+    )
+    cli.add_argument(
+        "--check",
+        action="store_true",
+        help="verify the checked-in file matches; write nothing",
+    )
+    args = cli.parse_args()
+
+    text = generate()
+    output = os.path.normpath(args.output)
+    if args.check:
+        try:
+            with open(output) as handle:
+                current = handle.read()
+        except FileNotFoundError:
+            print(f"error: {output} is missing; run python scripts/gen_cli_docs.py")
+            return 1
+        if current != text:
+            print(
+                f"error: {output} is stale with respect to the argparse tree; "
+                "run python scripts/gen_cli_docs.py and commit the result"
+            )
+            return 1
+        print(f"{output} is up to date")
+        return 0
+
+    os.makedirs(os.path.dirname(output), exist_ok=True)
+    with open(output, "w") as handle:
+        handle.write(text)
+    print(f"wrote {output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,6 +18,10 @@ contribution:
   protocol and architecture registry, run configuration, the sweep
   runner (serial or multiprocessing, with per-program trace caching),
   figure/table reproduction and the ``python -m repro`` command line.
+* :mod:`repro.store` — the persistent, content-addressed result store that
+  makes sweeps incremental and resumable: completed cells are cached under
+  ``~/.cache/repro`` keyed on their full input description and never
+  re-simulated.
 
 The :mod:`repro.core` facade is re-exported here, so most callers only need::
 
@@ -27,6 +31,7 @@ The :mod:`repro.core` facade is re-exported here, so most callers only need::
 from repro.core import (
     Experiment,
     MachineSpec,
+    ResultStore,
     RunConfig,
     RunResult,
     Runner,
@@ -42,11 +47,12 @@ from repro.core import (
     simulate,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "Experiment",
     "MachineSpec",
+    "ResultStore",
     "RunConfig",
     "RunResult",
     "Runner",

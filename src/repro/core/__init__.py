@@ -18,6 +18,10 @@ touching the per-architecture packages:
   machine axes × architectures) grids — any :class:`MachineSpec` field can
   be a sweep axis — and the :class:`Runner` executing them serially or
   across a ``multiprocessing`` pool with per-program trace caching.
+* :class:`~repro.store.ResultStore` / :func:`~repro.store.cell_key`
+  (re-exported from :mod:`repro.store`) — the persistent content-addressed
+  result cache; hand a store to the :class:`Runner` (or ``run_sweep``'s
+  ``store=`` argument) and sweeps become incremental and resumable.
 * :mod:`repro.core.figures` computing the paper's headline artifacts
   (Figure 5 speedup curves, Figure 6 queue-occupancy histograms, the
   Section 7 bypass-traffic table) as plain rows.
@@ -50,6 +54,7 @@ from repro.core.registry import (
 )
 from repro.core.result import RunResult
 from repro.core import figures
+from repro.store import ResultStore, cell_key
 
 __all__ = [
     "DecoupledArchitecture",
@@ -59,9 +64,11 @@ __all__ = [
     "PRESETS",
     "Preset",
     "ReferenceArchitecture",
+    "ResultStore",
     "RunConfig",
     "RunResult",
     "Runner",
+    "cell_key",
     "Simulator",
     "SpecArchitecture",
     "SweepCell",

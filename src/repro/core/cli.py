@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro``.
 
-Four subcommands drive the experiment API end to end:
+Six subcommands drive the experiment API end to end:
 
 * ``list-programs`` — the available Perfect Club program models and the
   registered architectures they can run on.
@@ -11,9 +11,14 @@ Four subcommands drive the experiment API end to end:
   architecture may be an inline machine spec (``dva@lanes=2,ports=2``).
 * ``sweep`` — execute a declarative grid and print per-cell summaries plus a
   Figure 5-style speedup table.  ``--axis name=v1,v2,...`` (repeatable) adds
-  machine-parameter sweep axes crossed with the latency axis.
+  machine-parameter sweep axes crossed with the latency axis.  Sweeps are
+  incremental by default: completed cells are persisted in the result store
+  (``~/.cache/repro``, overridable via ``--store-dir`` or ``REPRO_CACHE_DIR``)
+  and never re-simulated; ``--no-store`` opts out.
 * ``figures`` — run the paper's headline grid and write the Figure 5,
-  Figure 6 and Section 7 artifacts as CSV files.
+  Figure 6 and Section 7 artifacts as CSV files (also store-backed).
+* ``cache`` — inspect and manage the result store: ``stats``, ``gc``
+  (eviction by age and/or size), ``clear``.
 """
 
 from __future__ import annotations
@@ -33,10 +38,44 @@ from repro.core.registry import (
     machine_spec,
     simulate,
 )
+from repro.store import ResultStore, default_store_root
 from repro.workloads.perfect_club import load_program, program_names
 
 
+_STORE_DIR_HELP = (
+    "result-store directory (default: $REPRO_CACHE_DIR or ~/.cache/repro)"
+)
+
+
+def _add_store_arguments(parser: argparse.ArgumentParser) -> None:
+    """The store on/off switch and location flag shared by sweeping commands."""
+    parser.add_argument(
+        "--store",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="cache completed cells in the persistent result store so "
+        "interrupted or repeated runs never re-simulate them "
+        "(--no-store disables)",
+    )
+    parser.add_argument(
+        "--store-dir", default=None, help=_STORE_DIR_HELP
+    )
+
+
+def _store_from_args(args: argparse.Namespace) -> Optional[ResultStore]:
+    """The :class:`ResultStore` the command should use, or ``None`` when off."""
+    if not getattr(args, "store", False):
+        return None
+    return ResultStore(args.store_dir)
+
+
 def build_parser() -> argparse.ArgumentParser:
+    """The full ``python -m repro`` argparse tree.
+
+    Public so tooling can introspect the real interface —
+    ``scripts/gen_cli_docs.py`` renders ``docs/cli.md`` from exactly this
+    parser, and CI fails when the two drift apart.
+    """
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description=(
@@ -115,6 +154,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument(
         "--output", help="write the full sweep result as JSON to this path"
     )
+    _add_store_arguments(sweep_parser)
     sweep_parser.set_defaults(handler=_cmd_sweep)
 
     figures_parser = subparsers.add_parser(
@@ -139,12 +179,65 @@ def build_parser() -> argparse.ArgumentParser:
     figures_parser.add_argument(
         "--out-dir", default="figures", help="directory to write the CSV files into"
     )
+    _add_store_arguments(figures_parser)
     figures_parser.set_defaults(handler=_cmd_figures)
+
+    cache_parser = subparsers.add_parser(
+        "cache", help="inspect and manage the persistent result store"
+    )
+    cache_subparsers = cache_parser.add_subparsers(dest="cache_command", required=True)
+
+    stats_parser = cache_subparsers.add_parser(
+        "stats", help="entry counts and sizes of the store (refreshes the index)"
+    )
+    stats_parser.add_argument(
+        "--store-dir", default=None, help=_STORE_DIR_HELP
+    )
+    stats_parser.add_argument(
+        "--json", action="store_true", help="print the statistics as JSON"
+    )
+    stats_parser.set_defaults(handler=_cmd_cache_stats)
+
+    gc_parser = cache_subparsers.add_parser(
+        "gc",
+        help="evict old entries and reclaim space "
+        "(stale format versions are always removed)",
+    )
+    gc_parser.add_argument(
+        "--store-dir", default=None, help=_STORE_DIR_HELP
+    )
+    gc_parser.add_argument(
+        "--max-age-days", type=float, default=None,
+        help="evict entries written longer ago than this many days",
+    )
+    gc_parser.add_argument(
+        "--max-bytes", type=int, default=None,
+        help="evict oldest entries until the store fits this many bytes",
+    )
+    gc_parser.add_argument(
+        "--dry-run", action="store_true",
+        help="report what would be evicted without deleting anything",
+    )
+    gc_parser.set_defaults(handler=_cmd_cache_gc)
+
+    clear_parser = cache_subparsers.add_parser(
+        "clear", help="delete every cached result (all format versions)"
+    )
+    clear_parser.add_argument(
+        "--store-dir", default=None, help=_STORE_DIR_HELP
+    )
+    clear_parser.set_defaults(handler=_cmd_cache_clear)
 
     return parser
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code.
+
+    Library-level :class:`~repro.common.errors.ReproError` failures become
+    exit code 2 with a one-line message, matching argparse's own behaviour
+    for unparseable input.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
@@ -224,7 +317,16 @@ def _run_sweep(args: argparse.Namespace) -> SweepResult:
         scale=args.scale,
         axes=tuple(getattr(args, "axis", ()) or ()),
     )
-    return Runner(jobs=args.jobs).run(spec)
+    return Runner(jobs=args.jobs, store=_store_from_args(args)).run(spec)
+
+
+def _print_store_line(sweep: SweepResult, store: Optional[ResultStore]) -> None:
+    if store is None:
+        return
+    print(
+        f"store: {sweep.cached_count} cached, {sweep.simulated_count} "
+        f"simulated ({store.root})"
+    )
 
 
 def _summary_rows(sweep: SweepResult) -> List[dict]:
@@ -260,7 +362,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
              f"{len(sweep.spec.architectures)} architectures")
     for name, values in sweep.spec.axes:
         shape += f" x {len(values)} {name}"
-    print(f"sweep: {len(sweep)} cells ({shape})\n")
+    print(f"sweep: {len(sweep)} cells ({shape})")
+    _print_store_line(sweep, _store_from_args(args))
+    print()
     print(figures_module.format_table(_summary_rows(sweep)))
     _print_speedup_table(sweep)
     if args.output:
@@ -277,7 +381,9 @@ def _cmd_figures(args: argparse.Namespace) -> int:
         architectures="ref,dva,dva-nobypass",
         scale=args.scale,
     )
-    sweep = Runner(jobs=args.jobs).run(spec)
+    store = _store_from_args(args)
+    sweep = Runner(jobs=args.jobs, store=store).run(spec)
+    _print_store_line(sweep, store)
     os.makedirs(args.out_dir, exist_ok=True)
 
     artifacts = {
@@ -297,4 +403,62 @@ def _cmd_figures(args: argparse.Namespace) -> int:
     with open(sweep_path, "w") as handle:
         json.dump(sweep.to_json(), handle, indent=2)
     print(f"wrote {sweep_path}")
+    return 0
+
+
+# -- cache management ------------------------------------------------------------------
+
+
+def _cache_store(args: argparse.Namespace) -> ResultStore:
+    return ResultStore(args.store_dir if args.store_dir else default_store_root())
+
+
+def _cmd_cache_stats(args: argparse.Namespace) -> int:
+    store = _cache_store(args)
+    stats = store.stats(refresh_index=True)
+    if args.json:
+        print(json.dumps(stats, indent=2))
+        return 0
+    print(f"store:     {stats['root']} (format v{stats['format']})")
+    print(f"entries:   {stats['entry_count']}")
+    print(f"size:      {stats['total_bytes']} bytes")
+    by_architecture = stats["by_architecture"]
+    assert isinstance(by_architecture, dict)
+    for name in sorted(by_architecture):
+        print(f"  {name:24s} {by_architecture[name]} entries")
+    stale = stats["stale_version_dirs"]
+    assert isinstance(stale, list)
+    if stale:
+        print(f"stale format versions: {', '.join(stale)} (run 'repro cache gc')")
+    return 0
+
+
+def _cmd_cache_gc(args: argparse.Namespace) -> int:
+    store = _cache_store(args)
+    report = store.gc(
+        max_age_days=args.max_age_days,
+        max_bytes=args.max_bytes,
+        dry_run=args.dry_run,
+    )
+    verb = "would evict" if args.dry_run else "evicted"
+    print(
+        f"{verb} {report['evicted']} entries ({report['evicted_bytes']} bytes); "
+        f"kept {report['kept']} ({report['kept_bytes']} bytes)"
+    )
+    removed = report["stale_version_dirs_removed"]
+    assert isinstance(removed, list)
+    if removed:
+        what = "stale version dirs" if not args.dry_run else "stale version dirs to remove"
+        print(f"{what}: {', '.join(removed)}")
+    orphans = report["orphaned_tmp_files"]
+    if orphans:
+        what = "orphaned tmp files removed" if not args.dry_run else "orphaned tmp files to remove"
+        print(f"{what}: {orphans}")
+    return 0
+
+
+def _cmd_cache_clear(args: argparse.Namespace) -> int:
+    store = _cache_store(args)
+    removed = store.clear()
+    print(f"cleared {removed} entries from {store.root}")
     return 0

@@ -25,6 +25,16 @@ the pool forked and fills lazily otherwise — never per cell.  Workers also
 run with the cyclic garbage collector off (they only run simulation batches,
 and the simulators allocate heavily), collecting once per batch instead of
 continuously.
+
+Across *processes and days*, the repeated cost is simulation itself, and a
+:class:`~repro.store.ResultStore` eliminates it: give the runner a store and
+it consults it before dispatching cells (hits come back as results marked
+``cached=True``, their programs' traces are never even built), simulates only
+the misses, and writes each miss back the moment it completes — in the
+worker, not at the end of the sweep — so a killed sweep resumes with zero
+re-simulated cells and an identical warm re-run is pure cache hits.  Cells
+whose simulator is not spec-backed have no content-addressed identity and
+transparently bypass the store.
 """
 
 from __future__ import annotations
@@ -34,8 +44,9 @@ import multiprocessing
 import multiprocessing.pool
 import os
 import sys
-from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.common.errors import ConfigurationError
 from repro.core.config import RunConfig
@@ -47,11 +58,16 @@ from repro.core.machine import (
 )
 from repro.core.registry import Simulator, resolve_architecture
 from repro.core.result import RunResult
+from repro.store import ResultStore, cell_key
 from repro.trace.record import Trace
 from repro.workloads.perfect_club import load_program
 
 Overrides = Tuple[Tuple[str, object], ...]
 Axes = Tuple[Tuple[str, Tuple[object, ...]], ...]
+
+#: One dispatchable unit of work: (latency, resolved simulator, cache key or
+#: ``None`` when the cell is uncacheable or no store is in play).
+CellTask = Tuple[int, Simulator, Optional[str]]
 
 
 @dataclass(frozen=True)
@@ -222,6 +238,7 @@ class TraceCache:
         self._traces: Dict[Tuple[str, float], Trace] = {}
 
     def get(self, program: str, scale: float) -> Trace:
+        """The (program, scale) trace, built on first request and then reused."""
         key = (program.upper(), scale)
         trace = self._traces.get(key)
         if trace is None:
@@ -238,6 +255,7 @@ class TraceCache:
         self._traces.update(entries)
 
     def clear(self) -> None:
+        """Drop every cached trace (the next ``get`` rebuilds)."""
         self._traces.clear()
 
     def __len__(self) -> int:
@@ -245,13 +263,25 @@ class TraceCache:
 
 
 def _run_cells(
-    trace: Trace, pairs: Sequence[Tuple[int, Simulator]], config: RunConfig
+    trace: Trace,
+    tasks: Sequence[CellTask],
+    config: RunConfig,
+    store: Optional[ResultStore],
+    scale: float,
 ) -> List[RunResult]:
-    """Sweep one trace across its (latency, simulator) cells."""
-    return [
-        simulator.simulate(trace, config.with_latency(latency))
-        for latency, simulator in pairs
-    ]
+    """Sweep one trace across its cells, persisting each as it completes.
+
+    Write-back happens per cell, not per batch, so a simulation process
+    killed mid-batch leaves every already-finished cell in the store.
+    """
+    results: List[RunResult] = []
+    for latency, simulator, key in tasks:
+        result = simulator.simulate(trace, config.with_latency(latency))
+        if store is not None and key is not None:
+            result = replace(result, store_key=key)
+            store.put(key, result, scale=scale)
+        results.append(result)
+    return results
 
 
 # Per-process trace cache used by pool workers.  The parent seeds it right
@@ -276,19 +306,24 @@ def _worker_init() -> None:
 
 
 def _run_program_cells(
-    task: Tuple[str, float, Sequence[Tuple[int, Simulator]], RunConfig]
+    task: Tuple[str, float, Sequence[CellTask], RunConfig, Optional[str]]
 ) -> List[RunResult]:
     """Worker: sweep one batch of a program's cells over its cached trace.
 
     Module-level so ``multiprocessing`` can pickle it under both the fork and
     spawn start methods.  The task carries the resolved :class:`Simulator`
     objects rather than registry names, so runtime-registered extensions work
-    in workers too — provided the simulator object itself pickles.
+    in workers too — provided the simulator object itself pickles.  When the
+    parent runs with a result store, the task carries the store *root* (a
+    plain path) and the worker opens its own handle: constructing a
+    :class:`~repro.store.ResultStore` touches no files, and each completed
+    cell is written back immediately so killed sweeps keep their progress.
     """
-    program, scale, pairs, config = task
+    program, scale, cell_tasks, config, store_root = task
+    store = ResultStore(store_root) if store_root is not None else None
     trace = _WORKER_CACHE.get(program, scale)
     try:
-        return _run_cells(trace, pairs, config)
+        return _run_cells(trace, cell_tasks, config, store, scale)
     finally:
         if not gc.isenabled():
             gc.collect()
@@ -310,12 +345,12 @@ def _available_parallelism() -> int:
 
 
 def _chunked(
-    pairs: Sequence[Tuple[int, Simulator]], chunks: int
-) -> List[Sequence[Tuple[int, Simulator]]]:
-    """Split ``pairs`` into at most ``chunks`` contiguous, order-preserving runs."""
-    chunks = max(1, min(chunks, len(pairs)))
-    size = -(-len(pairs) // chunks)
-    return [pairs[index:index + size] for index in range(0, len(pairs), size)]
+    tasks: Sequence[CellTask], chunks: int
+) -> List[Sequence[CellTask]]:
+    """Split ``tasks`` into at most ``chunks`` contiguous, order-preserving runs."""
+    chunks = max(1, min(chunks, len(tasks)))
+    size = -(-len(tasks) // chunks)
+    return [tasks[index:index + size] for index in range(0, len(tasks), size)]
 
 
 class Runner:
@@ -338,15 +373,30 @@ class Runner:
     identical results in identical order — the simulators are deterministic
     and each cell is independent — which the test suite asserts.
 
+    With a :class:`~repro.store.ResultStore` attached (``store=`` — an
+    instance, or a path to open one at), the runner becomes *incremental*:
+    store hits are loaded instead of simulated (their traces are not even
+    built), misses are written back cell-by-cell as they complete, and the
+    hit/miss split of the last run is reported on the returned
+    :class:`SweepResult` via its per-result ``cached`` flags.
+
     The pool is released by :meth:`close`, by using the runner as a context
     manager, or at garbage collection.
     """
 
-    def __init__(self, jobs: int = 1, adaptive: bool = True) -> None:
+    def __init__(
+        self,
+        jobs: int = 1,
+        adaptive: bool = True,
+        store: Union[ResultStore, str, Path, None] = None,
+    ) -> None:
         if jobs < 1:
             raise ConfigurationError("runner needs at least one job")
         self.jobs = jobs
         self.adaptive = adaptive
+        if store is not None and not isinstance(store, ResultStore):
+            store = ResultStore(store)
+        self.store = store
         self.trace_cache = TraceCache()
         self._pool: Optional[multiprocessing.pool.Pool] = None
 
@@ -358,7 +408,12 @@ class Runner:
         return self.jobs
 
     def run(self, spec: SweepSpec, config: Optional[RunConfig] = None) -> "SweepResult":
-        """Execute every cell of ``spec`` and collect the results."""
+        """Execute every cell of ``spec`` and collect the results.
+
+        With a store attached, only cells the store cannot answer are
+        simulated; everything else is loaded and marked ``cached=True``.
+        Results come back in grid order either way.
+        """
         config = config if config is not None else RunConfig()
         for program in spec.programs:
             load_program(program)  # fail fast on unknown programs
@@ -388,42 +443,93 @@ class Runner:
             for simulator in machines
         ]
 
-        # A single-cell grid gains nothing from the pool, but only skip it
-        # when adaptive: adaptive=False means "force the pool regardless"
-        # (e.g. to prove a custom simulator pickles into workers).
-        single_cell = len(pairs) * len(spec.programs) == 1
-        if self.effective_jobs == 1 or (self.adaptive and single_cell):
-            per_batch = self._run_serial(spec, pairs, config)
-        else:
-            per_batch = self._run_parallel(spec, pairs, config)
+        # Consult the store: every grid slot is either a hit (a ready result)
+        # or a miss (a CellTask still to simulate).  Slots are per program, in
+        # pair order, so re-assembly below restores exact grid order.
+        hits: Dict[Tuple[int, int], RunResult] = {}
+        misses: List[List[CellTask]] = []
+        for program_index, program in enumerate(spec.programs):
+            program_misses: List[CellTask] = []
+            for pair_index, (latency, simulator) in enumerate(pairs):
+                key = None
+                if self.store is not None:
+                    key = cell_key(program, spec.scale, latency, simulator, config)
+                    if key is not None:
+                        found = self.store.get(key)
+                        if found is not None:
+                            hits[(program_index, pair_index)] = found
+                            continue
+                program_misses.append((latency, simulator, key))
+            misses.append(program_misses)
+        miss_programs = [
+            (index, program)
+            for index, program in enumerate(spec.programs)
+            if misses[index]
+        ]
+        miss_count = sum(len(batch) for batch in misses)
 
-        results = [result for batch in per_batch for result in batch]
+        # A single-cell dispatch gains nothing from the pool, but only skip
+        # it when adaptive: adaptive=False means "force the pool regardless"
+        # (e.g. to prove a custom simulator pickles into workers).
+        if miss_count == 0:
+            per_program: List[List[RunResult]] = [[] for _ in spec.programs]
+        elif self.effective_jobs == 1 or (self.adaptive and miss_count == 1):
+            per_program = self._run_serial(spec, miss_programs, misses, config)
+        else:
+            per_program = self._run_parallel(spec, miss_programs, misses, config)
+
+        results: List[RunResult] = []
+        for program_index in range(len(spec.programs)):
+            fresh = iter(per_program[program_index])
+            for pair_index in range(len(pairs)):
+                hit = hits.get((program_index, pair_index))
+                results.append(hit if hit is not None else next(fresh))
+
+        if self.store is not None and miss_count:
+            # Workers (or the serial loop) wrote the objects; merge this
+            # sweep's cells into the advisory index once, in the parent —
+            # O(cells written), never a full store scan.
+            self.store.update_index(
+                [
+                    (result.store_key, result)
+                    for result in results
+                    if result.store_key is not None and not result.cached
+                ],
+                scale=spec.scale,
+            )
         return SweepResult(spec=spec, results=results)
 
     def _run_serial(
         self,
         spec: SweepSpec,
-        pairs: Sequence[Tuple[int, Simulator]],
+        miss_programs: Sequence[Tuple[int, str]],
+        misses: Sequence[Sequence[CellTask]],
         config: RunConfig,
     ) -> List[List[RunResult]]:
-        """Run every batch in-process.
+        """Run every miss batch in-process.
 
         A runner asked for more than one job is in batch-throughput mode even
         when the machine caps it to in-process execution, so it simulates the
         way the pool workers do: cyclic GC paused during each batch and a
         collection between batches (the caller's GC state is restored after).
+        Only programs that actually have misses get their traces built.
         """
-        traces = [self.trace_cache.get(program, spec.scale) for program in spec.programs]
+        traces = {
+            index: self.trace_cache.get(program, spec.scale)
+            for index, program in miss_programs
+        }
         throughput_mode = self.jobs > 1 and gc.isenabled()
         if throughput_mode:
             gc.disable()
         try:
-            per_batch = []
-            for trace in traces:
-                per_batch.append(_run_cells(trace, pairs, config))
+            per_program: List[List[RunResult]] = [[] for _ in spec.programs]
+            for index, _program in miss_programs:
+                per_program[index] = _run_cells(
+                    traces[index], misses[index], config, self.store, spec.scale
+                )
                 if throughput_mode:
                     gc.collect()
-            return per_batch
+            return per_program
         finally:
             if throughput_mode:
                 gc.enable()
@@ -431,17 +537,29 @@ class Runner:
     def _run_parallel(
         self,
         spec: SweepSpec,
-        pairs: Sequence[Tuple[int, Simulator]],
+        miss_programs: Sequence[Tuple[int, str]],
+        misses: Sequence[Sequence[CellTask]],
         config: RunConfig,
     ) -> List[List[RunResult]]:
-        """Distribute the grid over the worker pool, one task per cell batch."""
-        chunks_per_program = -(-self.effective_jobs // len(spec.programs))
-        tasks = [
-            (program, spec.scale, chunk, config)
-            for program in spec.programs
-            for chunk in _chunked(pairs, chunks_per_program)
-        ]
-        return self._ensure_pool().map(_run_program_cells, tasks)
+        """Distribute the miss batches over the worker pool."""
+        store_root = str(self.store.root) if self.store is not None else None
+        chunks_per_program = -(-self.effective_jobs // len(miss_programs))
+        tasks = []
+        batches_of: List[Tuple[int, int]] = []  # (program index, batch count)
+        for index, program in miss_programs:
+            chunks = _chunked(misses[index], chunks_per_program)
+            batches_of.append((index, len(chunks)))
+            tasks.extend(
+                (program, spec.scale, chunk, config, store_root) for chunk in chunks
+            )
+        flat = self._ensure_pool().map(_run_program_cells, tasks)
+        per_program: List[List[RunResult]] = [[] for _ in spec.programs]
+        cursor = 0
+        for index, batch_count in batches_of:
+            for batch in flat[cursor:cursor + batch_count]:
+                per_program[index].extend(batch)
+            cursor += batch_count
+        return per_program
 
     def _ensure_pool(self) -> multiprocessing.pool.Pool:
         """The persistent worker pool, created on first use.
@@ -513,6 +631,16 @@ class SweepResult:
 
     def __len__(self) -> int:
         return len(self.results)
+
+    @property
+    def cached_count(self) -> int:
+        """How many cells were answered by the result store (0 without one)."""
+        return sum(1 for result in self.results if result.cached)
+
+    @property
+    def simulated_count(self) -> int:
+        """How many cells were actually simulated in this run."""
+        return len(self.results) - self.cached_count
 
     def get(self, program: str, latency: int, architecture_name: str) -> RunResult:
         """The result of one cell; raises when the cell was not in the grid.
@@ -588,14 +716,31 @@ class Experiment:
     config: RunConfig = field(default_factory=RunConfig)
     name: str = ""
 
-    def run(self, runner: Optional[Runner] = None, jobs: int = 1) -> SweepResult:
-        """Execute the experiment with ``runner`` (or a fresh one)."""
-        runner = runner if runner is not None else Runner(jobs=jobs)
+    def run(
+        self,
+        runner: Optional[Runner] = None,
+        jobs: int = 1,
+        store: Union[ResultStore, str, Path, None] = None,
+    ) -> SweepResult:
+        """Execute the experiment with ``runner`` (or a fresh one).
+
+        ``jobs`` and ``store`` configure the fresh runner and are ignored
+        when an explicit ``runner`` is given (it already carries both).
+        """
+        runner = runner if runner is not None else Runner(jobs=jobs, store=store)
         return runner.run(self.spec, self.config)
 
 
 def run_sweep(
-    spec: SweepSpec, config: Optional[RunConfig] = None, jobs: int = 1
+    spec: SweepSpec,
+    config: Optional[RunConfig] = None,
+    jobs: int = 1,
+    store: Union[ResultStore, str, Path, None] = None,
 ) -> SweepResult:
-    """Convenience wrapper: execute ``spec`` with a fresh :class:`Runner`."""
-    return Runner(jobs=jobs).run(spec, config)
+    """Convenience wrapper: execute ``spec`` with a fresh :class:`Runner`.
+
+    Pass ``store`` (a :class:`~repro.store.ResultStore` or a directory path)
+    to make the sweep incremental: cells already in the store are loaded
+    instead of simulated, and fresh cells are persisted for next time.
+    """
+    return Runner(jobs=jobs, store=store).run(spec, config)

@@ -95,6 +95,7 @@ class SpecArchitecture:
         return self.spec.bypass
 
     def simulate(self, trace: Trace, config: RunConfig) -> RunResult:
+        """Run ``trace`` on this machine: the spec's pins override ``config``."""
         memory = MemoryModel(latency=config.latency)
         provenance = self.spec.to_json()
         if self.spec.family == "ref":
@@ -139,11 +140,13 @@ class ReferenceArchitecture:
         )
 
     def as_spec(self) -> MachineSpec:
+        """The equivalent :class:`MachineSpec` this shim resolves to."""
         return MachineSpec(
             family="ref", lanes=self.lanes, memory_ports=self.memory_ports
         )
 
     def simulate(self, trace: Trace, config: RunConfig) -> RunResult:
+        """Delegate to the equivalent :class:`SpecArchitecture`."""
         resolved = SpecArchitecture(self.name, self.description, self.as_spec())
         return resolved.simulate(trace, config)
 
@@ -173,6 +176,7 @@ class DecoupledArchitecture:
         )
 
     def as_spec(self) -> MachineSpec:
+        """The equivalent :class:`MachineSpec` this shim resolves to."""
         return MachineSpec(
             family="dva",
             bypass=self.bypass,
@@ -181,6 +185,7 @@ class DecoupledArchitecture:
         )
 
     def simulate(self, trace: Trace, config: RunConfig) -> RunResult:
+        """Delegate to the equivalent :class:`SpecArchitecture`."""
         resolved = SpecArchitecture(self.name, self.description, self.as_spec())
         return resolved.simulate(trace, config)
 

@@ -13,7 +13,7 @@ result in :attr:`detail`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, Mapping, Optional
 
 from repro.common.errors import SimulationError
@@ -41,6 +41,14 @@ class RunResult:
         spec: provenance of the machine that produced the run — the resolved
             :class:`~repro.core.machine.MachineSpec` as its ``to_json()``
             payload — or ``None`` for simulators not described by a spec.
+        cached: ``True`` when this result was loaded from a
+            :class:`~repro.store.ResultStore` rather than simulated in this
+            run.  Provenance only — excluded from equality, so a cached
+            result compares equal to the fresh simulation it was saved from.
+        store_key: the result's content-addressed cache key (set whenever a
+            store was consulted, on hits and fresh writes alike), or
+            ``None`` when the run did not involve a store or the cell is
+            not cacheable.  Also excluded from equality.
     """
 
     architecture: str
@@ -53,6 +61,8 @@ class RunResult:
     scalar_cache_misses: int = 0
     detail: Dict[str, object] = field(default_factory=dict)
     spec: Optional[Dict[str, object]] = None
+    cached: bool = field(default=False, compare=False)
+    store_key: Optional[str] = field(default=None, compare=False)
 
     # -- constructors ----------------------------------------------------------------
 
@@ -121,13 +131,23 @@ class RunResult:
     # -- serialization ----------------------------------------------------------------
 
     def to_json(self) -> Dict[str, object]:
-        """A dictionary that survives ``json.dumps``/``json.loads`` unchanged."""
+        """A dictionary that survives ``json.dumps``/``json.loads`` unchanged.
+
+        Store provenance (``cached``, ``store_key``) is emitted only when a
+        store was actually involved, so payloads from store-less runs are
+        unchanged from earlier releases.
+        """
         payload: Dict[str, object] = {
             "architecture": self.architecture,
             "detail": dict(self.detail),
         }
         if self.spec is not None:
             payload["spec"] = dict(self.spec)
+        if self.cached or self.store_key is not None:
+            payload["provenance"] = {
+                "cached": self.cached,
+                "store_key": self.store_key,
+            }
         return payload
 
     @classmethod
@@ -137,8 +157,17 @@ class RunResult:
         if not isinstance(detail, Mapping):
             raise SimulationError("RunResult JSON payload lacks a 'detail' mapping")
         spec = data.get("spec")
-        return cls._from_detail(
+        result = cls._from_detail(
             str(data["architecture"]),
             dict(detail),
             spec=dict(spec) if isinstance(spec, Mapping) else None,
         )
+        provenance = data.get("provenance")
+        if isinstance(provenance, Mapping):
+            key = provenance.get("store_key")
+            result = replace(
+                result,
+                cached=bool(provenance.get("cached", False)),
+                store_key=str(key) if key is not None else None,
+            )
+        return result

@@ -22,6 +22,14 @@ machine variant (more lanes, more ports, different queueing) is configuration
 over these primitives rather than a new 400-line simulator.
 """
 
+#: Version of the timing model the simulators implement on these primitives.
+#: Any change that alters simulated numbers for an unchanged input — an issue
+#: rule, a latency formula, a stall-accounting fix (such changes are exactly
+#: what ``tests/golden`` exists to catch) — must bump this constant: it is
+#: folded into every :mod:`repro.store` cache key, so bumping it keeps
+#: results persisted by the old timing model from being served as hits.
+TIMING_MODEL_VERSION = 1
+
 from repro.engine.memory import MemoryFabric, ScalarAccess
 from repro.engine.resources import ResourcePool, occupancy_cycles
 from repro.engine.scoreboard import RegisterEntry, Scoreboard
@@ -29,6 +37,7 @@ from repro.engine.stalls import StallAccountant
 from repro.engine.timing import TimingCore
 
 __all__ = [
+    "TIMING_MODEL_VERSION",
     "MemoryFabric",
     "RegisterEntry",
     "ResourcePool",

@@ -18,6 +18,13 @@ from repro.isa.program import BasicBlock
 from repro.isa.registers import ELEMENT_SIZE_BYTES, VECTOR_REGISTER_LENGTH
 from repro.trace.record import DynamicInstruction, Trace
 
+#: Version of the trace-generation algorithm.  Any change that alters the
+#: dynamic instruction stream a program model produces (instruction order,
+#: addresses, vector lengths, region layout, ...) must bump this constant:
+#: it is folded into every :mod:`repro.store` cache key, so bumping it
+#: invalidates persisted results computed from the old streams.
+TRACE_GENERATOR_VERSION = 1
+
 #: Base of the data segment used by the region allocator.
 _DATA_SEGMENT_BASE = 0x1000_0000
 

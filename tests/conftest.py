@@ -1,0 +1,17 @@
+"""Shared fixtures: keep every test hermetic with respect to the result store.
+
+The CLI enables the persistent result store by default, and the store
+defaults to ``~/.cache/repro`` — exactly right for users, exactly wrong for
+tests, which must neither read a developer's warm cache (a stale entry could
+mask a timing regression) nor litter it.  Pointing ``REPRO_CACHE_DIR`` at a
+*per-test* temporary directory makes every test run cold and independent of
+test ordering by construction; tests that exercise the store itself build
+their own :class:`~repro.store.ResultStore` on ``tmp_path`` anyway.
+"""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _isolated_result_store(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "repro-store"))

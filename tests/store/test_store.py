@@ -1,0 +1,245 @@
+"""Unit tests for the on-disk ResultStore: round trips, index, gc, clear."""
+
+import json
+import os
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.core import RunConfig, architecture
+from repro.store import ResultStore, cell_key, default_store_root
+from repro.store.store import STORE_FORMAT_VERSION
+from repro.workloads.perfect_club import build_trace
+
+
+@pytest.fixture(scope="module")
+def ref_result():
+    trace = build_trace("TRFD", scale=0.2)
+    return architecture("ref").simulate(trace, RunConfig(latency=50))
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return ResultStore(tmp_path / "cache")
+
+
+KEY = "ab" * 32
+
+
+class TestRoundTrip:
+    def test_put_then_get_restores_an_equal_result(self, store, ref_result):
+        store.put(KEY, ref_result, scale=0.2)
+        loaded = store.get(KEY)
+        assert loaded == ref_result  # provenance fields are excluded from ==
+        assert loaded.cached is True
+        assert loaded.store_key == KEY
+        assert ref_result.cached is False
+        assert store.hits == 1 and store.writes == 1
+
+    def test_get_missing_key_is_a_miss(self, store):
+        assert store.get(KEY) is None
+        assert store.misses == 1
+
+    def test_contains_and_len(self, store, ref_result):
+        assert KEY not in store and len(store) == 0
+        store.put(KEY, ref_result)
+        assert KEY in store and len(store) == 1
+
+    def test_objects_are_sharded_by_key_prefix(self, store):
+        path = store.object_path(KEY)
+        assert path.parent.name == KEY[:2]
+        assert path.name == f"{KEY}.json"
+        assert store.version_dir.name == f"v{STORE_FORMAT_VERSION}"
+
+    def test_malformed_keys_are_rejected(self, store):
+        with pytest.raises(ConfigurationError, match="malformed store key"):
+            store.object_path("../../../etc/passwd")
+
+    def test_constructing_a_store_touches_no_files(self, tmp_path):
+        ResultStore(tmp_path / "never")
+        assert not (tmp_path / "never").exists()
+
+
+class TestRobustness:
+    def test_corrupt_entry_is_a_miss_and_put_repairs_it(self, store, ref_result):
+        store.put(KEY, ref_result)
+        store.object_path(KEY).write_text("{ torn json")
+        assert store.get(KEY) is None
+        store.put(KEY, ref_result)
+        assert store.get(KEY) == ref_result
+
+    def test_foreign_format_version_is_a_miss(self, store, ref_result):
+        store.put(KEY, ref_result)
+        payload = json.loads(store.object_path(KEY).read_text())
+        payload["format"] = STORE_FORMAT_VERSION + 1
+        store.object_path(KEY).write_text(json.dumps(payload))
+        assert store.get(KEY) is None
+
+    def test_mislabelled_entry_is_a_miss(self, store, ref_result):
+        other = "cd" * 32
+        store.put(KEY, ref_result)
+        store.object_path(other).parent.mkdir(parents=True, exist_ok=True)
+        os.rename(store.object_path(KEY), store.object_path(other))
+        assert store.get(other) is None
+
+
+class TestIndexAndStats:
+    def test_write_index_summarizes_the_object_tree(self, store, ref_result):
+        store.put(KEY, ref_result, scale=0.2)
+        path = store.write_index()
+        index = json.loads(path.read_text())
+        assert index["format"] == STORE_FORMAT_VERSION
+        assert index["entry_count"] == 1
+        entry = index["entries"][KEY]
+        assert entry["program"] == "TRFD"
+        assert entry["architecture"] == "ref"
+        assert entry["latency"] == 50
+        assert index["total_bytes"] == store.object_path(KEY).stat().st_size
+
+    def test_update_index_merges_without_a_full_rebuild(self, store, ref_result):
+        other = "cd" * 32
+        store.put(KEY, ref_result, scale=0.2)
+        store.write_index()
+        store.put(other, ref_result, scale=0.2)
+        store.update_index([(other, ref_result)], scale=0.2)
+        index = json.loads(store.index_path.read_text())
+        assert set(index["entries"]) == {KEY, other}
+        assert index["entry_count"] == 2
+        assert index["entries"][other]["program"] == "TRFD"
+
+    def test_update_index_survives_a_corrupt_index(self, store, ref_result):
+        store.put(KEY, ref_result)
+        store.version_dir.mkdir(parents=True, exist_ok=True)
+        store.index_path.write_text("{ torn")
+        store.update_index([(KEY, ref_result)])
+        index = json.loads(store.index_path.read_text())
+        assert set(index["entries"]) == {KEY}
+
+    def test_stats_aggregates_by_architecture(self, store, ref_result):
+        store.put(KEY, ref_result)
+        store.put("cd" * 32, ref_result)
+        stats = store.stats()
+        assert stats["entry_count"] == 2
+        assert stats["by_architecture"] == {"ref": 2}
+        assert stats["total_bytes"] > 0
+
+    def test_stats_can_refresh_a_stale_index(self, store, ref_result):
+        store.put(KEY, ref_result)
+        store.write_index()
+        store.object_path(KEY).unlink()  # evicted behind the index's back
+        stats = store.stats(refresh_index=True)
+        assert stats["entry_count"] == 0
+        index = json.loads(store.index_path.read_text())
+        assert index["entry_count"] == 0 and index["entries"] == {}
+
+    def test_stats_refresh_leaves_a_nonexistent_store_untouched(self, tmp_path):
+        store = ResultStore(tmp_path / "never")
+        assert store.stats(refresh_index=True)["entry_count"] == 0
+        assert not (tmp_path / "never").exists()
+
+    def test_entries_report_scale_and_are_oldest_first(self, store, ref_result):
+        store.put(KEY, ref_result, scale=0.2)
+        old = store.object_path(KEY)
+        os.utime(old, (old.stat().st_atime, old.stat().st_mtime - 100))
+        store.put("cd" * 32, ref_result, scale=0.4)
+        entries = store.entries()
+        assert [entry.key for entry in entries] == [KEY, "cd" * 32]
+        assert entries[0].scale == 0.2 and entries[1].scale == 0.4
+
+
+class TestEviction:
+    def _age(self, store, key, days):
+        path = store.object_path(key)
+        stamp = path.stat().st_mtime - days * 86400
+        os.utime(path, (stamp, stamp))
+
+    def test_gc_by_age(self, store, ref_result):
+        store.put(KEY, ref_result)
+        store.put("cd" * 32, ref_result)
+        self._age(store, KEY, days=10)
+        report = store.gc(max_age_days=5)
+        assert report["evicted"] == 1 and report["kept"] == 1
+        assert store.get(KEY) is None
+        assert store.get("cd" * 32) is not None
+
+    def test_gc_by_size_evicts_oldest_first(self, store, ref_result):
+        keys = ["aa" * 32, "bb" * 32, "cc" * 32]
+        for index, key in enumerate(keys):
+            store.put(key, ref_result)
+            self._age(store, key, days=len(keys) - index)
+        size = store.object_path(keys[0]).stat().st_size
+        report = store.gc(max_bytes=2 * size)
+        assert report["evicted"] == 1
+        assert store.get(keys[0]) is None  # the oldest went
+        assert all(store.get(key) is not None for key in keys[1:])
+
+    def test_gc_dry_run_deletes_nothing(self, store, ref_result):
+        store.put(KEY, ref_result)
+        report = store.gc(max_age_days=0, dry_run=True)
+        assert report["evicted"] == 1 and report["dry_run"] is True
+        assert store.get(KEY) is not None
+
+    def test_gc_removes_stale_version_dirs(self, store, ref_result):
+        store.put(KEY, ref_result)
+        stale = store.root / "v0"
+        stale.mkdir(parents=True)
+        (stale / "junk.json").write_text("{}")
+        report = store.gc()
+        assert report["stale_version_dirs_removed"] == ["v0"]
+        assert not stale.exists()
+        assert store.get(KEY) is not None
+
+    def test_gc_reclaims_orphaned_tmp_files(self, store, ref_result):
+        store.put(KEY, ref_result)
+        orphan = store.object_path(KEY).parent / "tmpdead.tmp"
+        orphan.write_text("half-written")
+        stamp = orphan.stat().st_mtime - 7200
+        os.utime(orphan, (stamp, stamp))
+        fresh = store.object_path(KEY).parent / "tmplive.tmp"
+        fresh.write_text("in flight")
+        index_orphan = store.version_dir / "tmpindex.tmp"
+        index_orphan.write_text("half-written index")
+        os.utime(index_orphan, (stamp, stamp))
+        report = store.gc()
+        assert report["orphaned_tmp_files"] == 2
+        assert not orphan.exists() and not index_orphan.exists()
+        assert fresh.exists()  # a recent tmp may belong to a live writer
+        assert store.get(KEY) is not None
+
+    def test_gc_rejects_negative_limits(self, store):
+        with pytest.raises(ConfigurationError):
+            store.gc(max_age_days=-1)
+        with pytest.raises(ConfigurationError):
+            store.gc(max_bytes=-1)
+
+    def test_clear_removes_everything(self, store, ref_result):
+        store.put(KEY, ref_result)
+        store.write_index()
+        assert store.clear() == 1
+        assert len(store) == 0
+        assert not store.version_dir.exists()
+
+    def test_clear_counts_stale_version_trees_too(self, store, ref_result):
+        store.put(KEY, ref_result)
+        stale = store.root / "v0" / "objects"
+        stale.mkdir(parents=True)
+        (stale / "old-entry.json").write_text("{}")
+        (store.root / "v0" / "index.json").write_text("{}")  # not an entry
+        assert store.clear() == 2
+        assert not (store.root / "v0").exists()
+
+
+class TestDefaults:
+    def test_env_var_overrides_the_default_root(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "elsewhere"))
+        assert default_store_root() == tmp_path / "elsewhere"
+        assert ResultStore().root == tmp_path / "elsewhere"
+
+    def test_default_root_falls_back_to_the_cache_home(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        monkeypatch.delenv("XDG_CACHE_HOME", raising=False)
+        assert default_store_root().name == "repro"
+
+    def test_cell_key_feeds_object_path(self, store):
+        key = cell_key("trfd", 1.0, 1, architecture("dva"), RunConfig())
+        assert store.object_path(key).suffix == ".json"
