@@ -19,6 +19,13 @@ Two benchmarks, one report:
    records both timings and the warm-over-cold speedup — the headline
    number for resumable sweeps.
 
+Before overwriting the output file, the previous report's serial
+cold/warm cells-per-second are captured into a ``baseline_comparison``
+section (with the speedups of this run over them), so the committed
+``BENCH_sweep.json`` always documents the improvement over the last
+committed state — e.g. the columnar trace pipeline against the
+record-at-a-time seed it replaced.
+
 ``jobs`` is a ceiling: the runner caps workers to the CPUs actually
 available, so on a one-CPU machine the ``jobs2`` rows measure the runner's
 in-process batch-throughput mode rather than a worker pool.  The report
@@ -126,6 +133,45 @@ def _bench_store(scale: float) -> dict:
     }
 
 
+def _previous_baseline(path: str) -> "dict | None":
+    """Serial cold/warm numbers of the report currently at ``path``, if any."""
+    try:
+        with open(path) as handle:
+            previous = json.load(handle)
+    except (OSError, ValueError):
+        return None
+    runs = {run["label"]: run for run in previous.get("runs", ())}
+    cold = runs.get("serial")
+    warm = runs.get("serial_warm", cold)
+    if cold is None:
+        return None
+    return {
+        "serial_cold_cells_per_second": cold.get("cells_per_second"),
+        "serial_warm_cells_per_second": (warm or cold).get("cells_per_second"),
+    }
+
+
+def _baseline_comparison(previous: "dict | None", runs: list) -> "dict | None":
+    """Cold/warm speedups of this run's serial mode over the previous report."""
+    if previous is None:
+        return None
+    by_label = {run["label"]: run for run in runs}
+    cold = by_label.get("serial")
+    warm = by_label.get("serial_warm", cold)
+    comparison = {"previous": previous}
+    previous_cold = previous.get("serial_cold_cells_per_second")
+    previous_warm = previous.get("serial_warm_cells_per_second")
+    if cold and previous_cold:
+        comparison["serial_cold_speedup"] = round(
+            cold["cells_per_second"] / previous_cold, 2
+        )
+    if warm and previous_warm:
+        comparison["serial_warm_speedup"] = round(
+            warm["cells_per_second"] / previous_warm, 2
+        )
+    return comparison
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--scale", type=float, default=1.0)
@@ -143,6 +189,8 @@ def main() -> int:
         parser.error("--repeats must be at least 1")
     if args.jobs < 2:
         parser.error("--jobs must be at least 2 (the serial mode is always timed)")
+
+    previous = _previous_baseline(args.output)
 
     spec = SweepSpec.from_strings(
         programs="dyfesm,trfd",
@@ -188,6 +236,9 @@ def main() -> int:
         ),
         "store": _bench_store(args.scale),
     }
+    comparison = _baseline_comparison(previous, runs)
+    if comparison is not None:
+        report["baseline_comparison"] = comparison
     with open(args.output, "w") as handle:
         json.dump(report, handle, indent=2)
         handle.write("\n")
@@ -199,6 +250,12 @@ def main() -> int:
           f"{report['jobs_speedup_over_serial']}x")
     print(f"store warm speedup over cold: "
           f"{report['store']['warm_speedup_over_cold']}x")
+    if comparison is not None:
+        print(
+            f"serial speedup over previous report: "
+            f"cold {comparison.get('serial_cold_speedup', '?')}x, "
+            f"warm {comparison.get('serial_warm_speedup', '?')}x"
+        )
     print(f"wrote {args.output}")
     return 0
 

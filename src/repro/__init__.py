@@ -47,7 +47,7 @@ from repro.core import (
     simulate,
 )
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "Experiment",

@@ -57,11 +57,19 @@ class IntervalRecorder:
     pushes (overlaps are merged when the intervals are read back).  It is the
     building block used by the simulators to describe functional-unit and
     memory-port occupancy.
+
+    Intervals are stored as two parallel integer lists — the simulators
+    record one per issued instruction, so the hot path is two list appends;
+    :class:`Interval` objects are materialized only when intervals are read
+    back.
     """
+
+    __slots__ = ("name", "_starts", "_ends")
 
     def __init__(self, name: str) -> None:
         self.name = name
-        self._intervals: list[Interval] = []
+        self._starts: list[int] = []
+        self._ends: list[int] = []
 
     def record(self, start: int, end: int) -> None:
         """Record that the resource was busy over ``[start, end)``.
@@ -70,13 +78,13 @@ class IntervalRecorder:
         case instructions that occupy a unit for zero cycles (for example a
         vector instruction with vector length zero).
         """
-        if end < start:
+        if end > start:
+            self._starts.append(start)
+            self._ends.append(end)
+        elif end < start:
             raise SimulationError(
                 f"resource {self.name!r}: busy interval ends ({end}) before it starts ({start})"
             )
-        if end == start:
-            return
-        self._intervals.append(Interval(start, end))
 
     def record_interval(self, interval: Interval) -> None:
         """Record an already-constructed :class:`Interval`."""
@@ -85,34 +93,50 @@ class IntervalRecorder:
     @property
     def raw_intervals(self) -> Sequence[Interval]:
         """The intervals exactly as recorded (possibly overlapping)."""
-        return tuple(self._intervals)
+        return tuple(
+            Interval(start, end) for start, end in zip(self._starts, self._ends)
+        )
+
+    def merged_pairs(self) -> list[tuple[int, int]]:
+        """The recorded intervals merged into disjoint sorted (start, end) pairs."""
+        merged: list[list[int]] = []
+        for start, end in sorted(zip(self._starts, self._ends)):
+            if merged and start <= merged[-1][1]:
+                tail = merged[-1]
+                if end > tail[1]:
+                    tail[1] = end
+            else:
+                merged.append([start, end])
+        return [(start, end) for start, end in merged]
 
     def merged(self) -> list[Interval]:
         """Return the recorded intervals merged into disjoint, sorted pieces."""
-        return merge_intervals(self._intervals)
+        return [Interval(start, end) for start, end in self.merged_pairs()]
 
     def busy_time(self) -> int:
         """Total number of distinct cycles during which the resource was busy."""
-        return total_busy_time(self._intervals)
+        return sum(end - start for start, end in self.merged_pairs())
 
     def busy_at(self, cycle: int) -> bool:
         """Return ``True`` when the resource is busy during ``cycle``."""
-        return any(iv.start <= cycle < iv.end for iv in self._intervals)
+        return any(
+            start <= cycle < end for start, end in zip(self._starts, self._ends)
+        )
 
     def last_end(self) -> int:
         """Cycle at which the resource last became free (0 when never used)."""
-        if not self._intervals:
+        if not self._ends:
             return 0
-        return max(iv.end for iv in self._intervals)
+        return max(self._ends)
 
     def __len__(self) -> int:
-        return len(self._intervals)
+        return len(self._starts)
 
     def __iter__(self) -> Iterator[Interval]:
-        return iter(self._intervals)
+        return iter(self.raw_intervals)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"IntervalRecorder(name={self.name!r}, intervals={len(self._intervals)})"
+        return f"IntervalRecorder(name={self.name!r}, intervals={len(self._starts)})"
 
 
 def merge_intervals(intervals: Iterable[Interval]) -> list[Interval]:
@@ -187,14 +211,14 @@ def state_breakdown(
     if total_cycles <= 0:
         return result
 
-    merged_per_resource = [recorder.merged() for recorder in recorders]
+    merged_per_resource = [recorder.merged_pairs() for recorder in recorders]
     boundaries = {0, total_cycles}
     for intervals in merged_per_resource:
-        for interval in intervals:
-            if interval.start < total_cycles:
-                boundaries.add(interval.start)
-            if interval.end < total_cycles:
-                boundaries.add(interval.end)
+        for interval_start, interval_end in intervals:
+            if interval_start < total_cycles:
+                boundaries.add(interval_start)
+            if interval_end < total_cycles:
+                boundaries.add(interval_end)
     ordered = sorted(boundaries)
 
     cursors = [0] * len(recorders)
@@ -205,10 +229,10 @@ def state_breakdown(
         pattern: list[bool] = []
         for res_index, intervals in enumerate(merged_per_resource):
             cursor = cursors[res_index]
-            while cursor < len(intervals) and intervals[cursor].end <= start:
+            while cursor < len(intervals) and intervals[cursor][1] <= start:
                 cursor += 1
             cursors[res_index] = cursor
-            busy = cursor < len(intervals) and intervals[cursor].start <= start
+            busy = cursor < len(intervals) and intervals[cursor][0] <= start
             pattern.append(busy)
         key = tuple(pattern)
         result.cycles[key] = result.cycles.get(key, 0) + (end - start)

@@ -31,26 +31,41 @@ class Residency:
 
 
 class OccupancyTimeline:
-    """Records element residencies of a bounded queue and derives statistics."""
+    """Records element residencies of a bounded queue and derives statistics.
+
+    Residencies live in two parallel integer lists (one entry per queue
+    element, recorded at simulation wind-down for every element of every
+    queue); :class:`Residency` views are materialized only on request.
+    """
+
+    __slots__ = ("name", "capacity", "_enters", "_leaves")
 
     def __init__(self, name: str, capacity: int | None = None) -> None:
         self.name = name
         self.capacity = capacity
-        self._residencies: list[Residency] = []
+        self._enters: list[int] = []
+        self._leaves: list[int] = []
 
     def record(self, enter: int, leave: int) -> None:
         """Record that one element occupied a slot during ``[enter, leave)``."""
-        if leave == enter:
-            return
-        self._residencies.append(Residency(enter, leave))
+        if leave > enter:
+            self._enters.append(enter)
+            self._leaves.append(leave)
+        elif leave < enter:
+            raise SimulationError(
+                f"queue element leaves ({leave}) before it enters ({enter})"
+            )
 
     @property
     def residencies(self) -> tuple[Residency, ...]:
-        return tuple(self._residencies)
+        return tuple(
+            Residency(enter, leave)
+            for enter, leave in zip(self._enters, self._leaves)
+        )
 
     def occupancy_histogram(self, total_cycles: int) -> Histogram:
         """Cycles spent at each occupancy level over ``[0, total_cycles)``."""
-        return occupancy_histogram(self._residencies, total_cycles)
+        return _histogram_of_events(self._enters, self._leaves, total_cycles)
 
     def max_occupancy(self) -> int:
         """The largest number of simultaneously-resident elements ever observed."""
@@ -67,12 +82,12 @@ class OccupancyTimeline:
         return weighted / total_cycles
 
     def _horizon(self) -> int:
-        if not self._residencies:
+        if not self._leaves:
             return 0
-        return max(residency.leave for residency in self._residencies)
+        return max(self._leaves)
 
     def __len__(self) -> int:
-        return len(self._residencies)
+        return len(self._enters)
 
 
 def occupancy_histogram(
@@ -83,14 +98,26 @@ def occupancy_histogram(
     Cycles beyond the lifetime of the last element count as occupancy zero so
     the histogram always sums to ``total_cycles``.
     """
+    enters = []
+    leaves = []
+    for residency in residencies:
+        enters.append(residency.enter)
+        leaves.append(residency.leave)
+    return _histogram_of_events(enters, leaves, total_cycles)
+
+
+def _histogram_of_events(
+    enters: list[int], leaves: list[int], total_cycles: int
+) -> Histogram:
+    """The occupancy sweep over parallel enter/leave lists."""
     histogram = Histogram()
     if total_cycles <= 0:
         return histogram
 
     events: list[tuple[int, int]] = []
-    for residency in residencies:
-        start = min(residency.enter, total_cycles)
-        end = min(residency.leave, total_cycles)
+    for enter, leave in zip(enters, leaves):
+        start = enter if enter < total_cycles else total_cycles
+        end = leave if leave < total_cycles else total_cycles
         if end > start:
             events.append((start, +1))
             events.append((end, -1))

@@ -30,6 +30,7 @@ touching the per-architecture packages:
 
 from repro.core.config import RunConfig
 from repro.core.experiment import (
+    CellProgress,
     Experiment,
     Runner,
     SweepCell,
@@ -57,6 +58,7 @@ from repro.core import figures
 from repro.store import ResultStore, cell_key
 
 __all__ = [
+    "CellProgress",
     "DecoupledArchitecture",
     "Experiment",
     "FieldInfo",

@@ -26,12 +26,13 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import sys
 from typing import List, Optional, Sequence
 
 from repro.common.errors import ReproError
 from repro.core import figures as figures_module
 from repro.core import machine as machine_module
-from repro.core.experiment import Runner, SweepResult, SweepSpec
+from repro.core.experiment import CellProgress, Runner, SweepResult, SweepSpec
 from repro.core.registry import (
     architecture,
     architecture_names,
@@ -153,6 +154,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep_parser.add_argument(
         "--output", help="write the full sweep result as JSON to this path"
+    )
+    sweep_parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="print one line per finished cell (done/total, cached vs "
+        "simulated) so long sweeps are observable",
     )
     _add_store_arguments(sweep_parser)
     sweep_parser.set_defaults(handler=_cmd_sweep)
@@ -309,6 +316,21 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_progress(event: "CellProgress") -> None:
+    """One ``--progress`` line per finished cell, on stderr.
+
+    Progress goes to stderr so scripts that parse the sweep's stdout (the
+    summary table, ``--output`` confirmations) are unaffected.
+    """
+    source = "cached" if event.from_store else "simulated"
+    print(
+        f"[{event.done}/{event.total}] {event.program} "
+        f"lat={event.latency} {event.architecture}: {source} "
+        f"({event.cached} cached, {event.simulated} simulated)",
+        file=sys.stderr,
+    )
+
+
 def _run_sweep(args: argparse.Namespace) -> SweepResult:
     spec = SweepSpec.from_strings(
         programs=args.programs,
@@ -317,7 +339,10 @@ def _run_sweep(args: argparse.Namespace) -> SweepResult:
         scale=args.scale,
         axes=tuple(getattr(args, "axis", ()) or ()),
     )
-    return Runner(jobs=args.jobs, store=_store_from_args(args)).run(spec)
+    progress = _print_progress if getattr(args, "progress", False) else None
+    return Runner(jobs=args.jobs, store=_store_from_args(args)).run(
+        spec, progress=progress
+    )
 
 
 def _print_store_line(sweep: SweepResult, store: Optional[ResultStore]) -> None:

@@ -46,7 +46,17 @@ import os
 import sys
 from dataclasses import dataclass, field, replace
 from pathlib import Path
-from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import (
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.common.errors import ConfigurationError
 from repro.core.config import RunConfig
@@ -68,6 +78,64 @@ Axes = Tuple[Tuple[str, Tuple[object, ...]], ...]
 #: One dispatchable unit of work: (latency, resolved simulator, cache key or
 #: ``None`` when the cell is uncacheable or no store is in play).
 CellTask = Tuple[int, Simulator, Optional[str]]
+
+
+@dataclass(frozen=True)
+class CellProgress:
+    """One progress event of a running sweep: a cell's result became available.
+
+    ``done``/``total`` count grid cells; ``cached``/``simulated`` split the
+    finished cells by whether the result store answered them.  Serial sweeps
+    report cell by cell; parallel sweeps report each worker batch as it
+    returns.
+    """
+
+    done: int
+    total: int
+    cached: int
+    simulated: int
+    program: str
+    latency: int
+    architecture: str
+    from_store: bool
+
+
+#: A sweep progress callback, called once per finished cell.
+ProgressCallback = Callable[[CellProgress], None]
+
+
+class _ProgressTracker:
+    """Counts finished cells and fans events out to the user's callback."""
+
+    def __init__(self, callback: ProgressCallback, total: int) -> None:
+        self.callback = callback
+        self.total = total
+        self.done = 0
+        self.cached = 0
+        self.simulated = 0
+
+    def report(self, result: RunResult) -> None:
+        self.done += 1
+        if result.cached:
+            self.cached += 1
+        else:
+            self.simulated += 1
+        self.callback(
+            CellProgress(
+                done=self.done,
+                total=self.total,
+                cached=self.cached,
+                simulated=self.simulated,
+                program=result.program,
+                latency=result.latency,
+                architecture=result.architecture,
+                from_store=result.cached,
+            )
+        )
+
+    def report_all(self, results: Sequence[RunResult]) -> None:
+        for result in results:
+            self.report(result)
 
 
 @dataclass(frozen=True)
@@ -232,7 +300,15 @@ class SweepSpec:
 
 
 class TraceCache:
-    """Builds each (program, scale) trace at most once."""
+    """Builds each (program, scale) trace at most once.
+
+    Cached traces are columnar
+    (:class:`~repro.trace.columns.ColumnarTrace`-backed), so what pool
+    workers inherit copy-on-write at fork time is a handful of flat arrays
+    plus the small static-instruction table — not millions of per-record
+    Python objects whose refcount updates would unshare the pages — which
+    keeps large ``--scale`` sweeps in flat memory across the whole pool.
+    """
 
     def __init__(self) -> None:
         self._traces: Dict[Tuple[str, float], Trace] = {}
@@ -268,11 +344,14 @@ def _run_cells(
     config: RunConfig,
     store: Optional[ResultStore],
     scale: float,
+    on_result: Optional[Callable[[RunResult], None]] = None,
 ) -> List[RunResult]:
     """Sweep one trace across its cells, persisting each as it completes.
 
     Write-back happens per cell, not per batch, so a simulation process
     killed mid-batch leaves every already-finished cell in the store.
+    ``on_result`` fires per cell, after the store write (serial progress
+    reporting; pool workers run without it).
     """
     results: List[RunResult] = []
     for latency, simulator, key in tasks:
@@ -281,6 +360,8 @@ def _run_cells(
             result = replace(result, store_key=key)
             store.put(key, result, scale=scale)
         results.append(result)
+        if on_result is not None:
+            on_result(result)
     return results
 
 
@@ -407,14 +488,26 @@ class Runner:
             return min(self.jobs, _available_parallelism())
         return self.jobs
 
-    def run(self, spec: SweepSpec, config: Optional[RunConfig] = None) -> "SweepResult":
+    def run(
+        self,
+        spec: SweepSpec,
+        config: Optional[RunConfig] = None,
+        progress: Optional[ProgressCallback] = None,
+    ) -> "SweepResult":
         """Execute every cell of ``spec`` and collect the results.
 
         With a store attached, only cells the store cannot answer are
         simulated; everything else is loaded and marked ``cached=True``.
         Results come back in grid order either way.
+
+        ``progress`` receives one :class:`CellProgress` per finished cell
+        (store hits first, then simulated cells — cell by cell when serial,
+        batch by batch when parallel), so long sweeps are observable.
         """
         config = config if config is not None else RunConfig()
+        tracker = (
+            _ProgressTracker(progress, len(spec)) if progress is not None else None
+        )
         for program in spec.programs:
             load_program(program)  # fail fast on unknown programs
 
@@ -458,6 +551,8 @@ class Runner:
                         found = self.store.get(key)
                         if found is not None:
                             hits[(program_index, pair_index)] = found
+                            if tracker is not None:
+                                tracker.report(found)
                             continue
                 program_misses.append((latency, simulator, key))
             misses.append(program_misses)
@@ -474,9 +569,9 @@ class Runner:
         if miss_count == 0:
             per_program: List[List[RunResult]] = [[] for _ in spec.programs]
         elif self.effective_jobs == 1 or (self.adaptive and miss_count == 1):
-            per_program = self._run_serial(spec, miss_programs, misses, config)
+            per_program = self._run_serial(spec, miss_programs, misses, config, tracker)
         else:
-            per_program = self._run_parallel(spec, miss_programs, misses, config)
+            per_program = self._run_parallel(spec, miss_programs, misses, config, tracker)
 
         results: List[RunResult] = []
         for program_index in range(len(spec.programs)):
@@ -505,6 +600,7 @@ class Runner:
         miss_programs: Sequence[Tuple[int, str]],
         misses: Sequence[Sequence[CellTask]],
         config: RunConfig,
+        tracker: Optional[_ProgressTracker] = None,
     ) -> List[List[RunResult]]:
         """Run every miss batch in-process.
 
@@ -523,9 +619,11 @@ class Runner:
             gc.disable()
         try:
             per_program: List[List[RunResult]] = [[] for _ in spec.programs]
+            on_result = tracker.report if tracker is not None else None
             for index, _program in miss_programs:
                 per_program[index] = _run_cells(
-                    traces[index], misses[index], config, self.store, spec.scale
+                    traces[index], misses[index], config, self.store, spec.scale,
+                    on_result=on_result,
                 )
                 if throughput_mode:
                     gc.collect()
@@ -540,8 +638,14 @@ class Runner:
         miss_programs: Sequence[Tuple[int, str]],
         misses: Sequence[Sequence[CellTask]],
         config: RunConfig,
+        tracker: Optional[_ProgressTracker] = None,
     ) -> List[List[RunResult]]:
-        """Distribute the miss batches over the worker pool."""
+        """Distribute the miss batches over the worker pool.
+
+        With a progress tracker attached the batches stream back through
+        ``imap`` (still in submission order) and each batch's cells are
+        reported the moment the batch lands.
+        """
         store_root = str(self.store.root) if self.store is not None else None
         chunks_per_program = -(-self.effective_jobs // len(miss_programs))
         tasks = []
@@ -552,7 +656,14 @@ class Runner:
             tasks.extend(
                 (program, spec.scale, chunk, config, store_root) for chunk in chunks
             )
-        flat = self._ensure_pool().map(_run_program_cells, tasks)
+        pool = self._ensure_pool()
+        if tracker is not None:
+            flat = []
+            for batch in pool.imap(_run_program_cells, tasks):
+                tracker.report_all(batch)
+                flat.append(batch)
+        else:
+            flat = pool.map(_run_program_cells, tasks)
         per_program: List[List[RunResult]] = [[] for _ in spec.programs]
         cursor = 0
         for index, batch_count in batches_of:
@@ -736,11 +847,13 @@ def run_sweep(
     config: Optional[RunConfig] = None,
     jobs: int = 1,
     store: Union[ResultStore, str, Path, None] = None,
+    progress: Optional[ProgressCallback] = None,
 ) -> SweepResult:
     """Convenience wrapper: execute ``spec`` with a fresh :class:`Runner`.
 
     Pass ``store`` (a :class:`~repro.store.ResultStore` or a directory path)
     to make the sweep incremental: cells already in the store are loaded
     instead of simulated, and fresh cells are persisted for next time.
+    ``progress`` receives one :class:`CellProgress` per finished cell.
     """
-    return Runner(jobs=jobs, store=store).run(spec, config)
+    return Runner(jobs=jobs, store=store).run(spec, config, progress=progress)

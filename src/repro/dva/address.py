@@ -16,6 +16,12 @@ main memory in the decoupled architecture (paper §4.2):
   without using the memory port and without paying memory latency,
 * the scalar cache that filters scalar references away from the port (wired
   inside the fabric, shared with the reference machine's wiring).
+
+The interface speaks the columnar trace's language: every reference is
+described by the scalars the simulator already holds in locals (base
+address, vector length, stride, the indexed flag) plus an opaque ``key``
+identifying the dynamic record, so no record objects flow through the
+pipeline.
 """
 
 from __future__ import annotations
@@ -28,19 +34,32 @@ from repro.common.intervals import IntervalRecorder
 from repro.dva.config import DecoupledConfig
 from repro.dva.queues import TimedQueue
 from repro.engine import MemoryFabric, ResourcePool
+from repro.isa.registers import ELEMENT_SIZE_BYTES
 from repro.memory.model import MemoryModel
-from repro.memory.ranges import MemoryRange, accesses_identical, range_of_access
+from repro.memory.ranges import MemoryRange, access_range
 from repro.memory.scalar_cache import ScalarCache
-from repro.trace.record import DynamicInstruction
 
 
 @dataclass
 class PendingStore:
-    """A store whose address sits in a store queue awaiting its data."""
+    """A store whose address sits in a store queue awaiting its data.
 
-    record: DynamicInstruction
+    The store is described entirely by scalars captured at enqueue time:
+    ``key`` identifies the dynamic record (its trace position), ``length`` is
+    the *effective* vector length (1 for scalar stores) and ``bus_cycles`` /
+    ``traffic_bytes`` are the port occupancy and memory traffic the store
+    will cost when it drains.
+    """
+
+    key: int
+    base: int
+    length: int
+    stride_elements: int
+    indexed: bool
     memory_range: MemoryRange
     is_vector: bool
+    bus_cycles: int
+    traffic_bytes: int
     address_queue_index: int
     address_ready: int
     data_queue_index: Optional[int] = None
@@ -54,7 +73,7 @@ class PendingStore:
         """Cycle at which both address and data are available."""
         if self.data_ready is None:
             raise SimulationError(
-                f"store {self.record} has no data yet; the producing QMOV must "
+                f"store #{self.key} has no data yet; the producing QMOV must "
                 f"be simulated before the store can be performed"
             )
         return max(self.address_ready, self.data_ready)
@@ -139,32 +158,56 @@ class MemoryPipeline:
 
     # -- store bookkeeping -------------------------------------------------------------
 
-    def enqueue_vector_store(self, record: DynamicInstruction, requested: int) -> int:
+    def enqueue_vector_store(
+        self,
+        key: int,
+        base: int,
+        vector_length: int,
+        stride_elements: int,
+        indexed: bool,
+        requested: int,
+    ) -> int:
         """Put a vector store's address into the VSAQ; return the push cycle."""
         self._make_room(self.vsaq)
         push_time = self.vsaq.push(requested)
-        store = PendingStore(
-            record=record,
-            memory_range=range_of_access(record),
-            is_vector=True,
-            address_queue_index=self.vsaq.last_index,
-            address_ready=push_time + 1,
+        self.pending_stores.append(
+            PendingStore(
+                key=key,
+                base=base,
+                length=vector_length,
+                stride_elements=stride_elements,
+                indexed=indexed,
+                memory_range=access_range(
+                    base, vector_length, stride_elements, indexed=indexed
+                ),
+                is_vector=True,
+                bus_cycles=self.memory.vector_bus_cycles(vector_length),
+                traffic_bytes=vector_length * ELEMENT_SIZE_BYTES,
+                address_queue_index=self.vsaq.last_index,
+                address_ready=push_time + 1,
+            )
         )
-        self.pending_stores.append(store)
         return push_time
 
-    def enqueue_scalar_store(self, record: DynamicInstruction, requested: int) -> int:
+    def enqueue_scalar_store(self, key: int, base: int, requested: int) -> int:
         """Put a scalar store's address into the SSAQ; return the push cycle."""
         self._make_room(self.ssaq)
         push_time = self.ssaq.push(requested)
-        store = PendingStore(
-            record=record,
-            memory_range=range_of_access(record),
-            is_vector=False,
-            address_queue_index=self.ssaq.last_index,
-            address_ready=push_time + 1,
+        self.pending_stores.append(
+            PendingStore(
+                key=key,
+                base=base,
+                length=1,
+                stride_elements=1,
+                indexed=False,
+                memory_range=MemoryRange(base, base + ELEMENT_SIZE_BYTES),
+                is_vector=False,
+                bus_cycles=self.memory.timings.scalar_bus_cycles,
+                traffic_bytes=ELEMENT_SIZE_BYTES,
+                address_queue_index=self.ssaq.last_index,
+                address_ready=push_time + 1,
+            )
         )
-        self.pending_stores.append(store)
         return push_time
 
     def reserve_vector_store_data_slot(self, requested: int) -> int:
@@ -172,29 +215,25 @@ class MemoryPipeline:
         self._make_room(self.vadq)
         return self.vadq.earliest_push(requested)
 
-    def attach_vector_store_data(
-        self, record: DynamicInstruction, push_time: int, data_ready: int
-    ) -> None:
-        """Record that the VP has moved a store's data into the VADQ."""
+    def attach_vector_store_data(self, key: int, push_time: int, data_ready: int) -> None:
+        """Record that the VP has moved store ``key``'s data into the VADQ."""
         self.vadq.push(push_time, ready=data_ready)
-        store = self._find_pending(record)
+        store = self._find_pending(key)
         store.data_queue_index = self.vadq.last_index
         store.data_ready = data_ready
 
-    def attach_scalar_store_data(
-        self, record: DynamicInstruction, push_time: int, data_ready: int
-    ) -> None:
-        """Record that the SP has moved a store's data into the SADQ."""
+    def attach_scalar_store_data(self, key: int, push_time: int, data_ready: int) -> None:
+        """Record that the SP has moved store ``key``'s data into the SADQ."""
         self.sadq.push(push_time, ready=data_ready)
-        store = self._find_pending(record)
+        store = self._find_pending(key)
         store.data_queue_index = self.sadq.last_index
         store.data_ready = data_ready
 
-    def _find_pending(self, record: DynamicInstruction) -> PendingStore:
+    def _find_pending(self, key: int) -> PendingStore:
         for store in reversed(self.pending_stores):
-            if store.record is record:
+            if store.key == key:
                 return store
-        raise SimulationError(f"no pending store found for {record}")
+        raise SimulationError(f"no pending store found for record #{key}")
 
     def _make_room(self, queue: TimedQueue) -> None:
         """Force-drain old stores until ``queue`` has a free slot."""
@@ -213,7 +252,12 @@ class MemoryPipeline:
         return self.avdq.earliest_push(requested)
 
     def issue_vector_load(
-        self, record: DynamicInstruction, requested: int
+        self,
+        base: int,
+        vector_length: int,
+        stride_elements: int,
+        indexed: bool,
+        requested: int,
     ) -> VectorLoadOutcome:
         """Service a vector load: bypass it or send it to main memory.
 
@@ -222,53 +266,67 @@ class MemoryPipeline:
         gives the cycle the load started and the cycle its last element is
         available in the AVDQ.
         """
-        load_range = range_of_access(record)
+        load_range = access_range(base, vector_length, stride_elements, indexed=indexed)
         conflict_index = self._youngest_conflict(load_range)
 
         if conflict_index is not None and self.config.enable_bypass:
             candidate = self.pending_stores[conflict_index]
-            if not candidate.drained and accesses_identical(record, candidate.record):
-                return self._bypass_load(record, requested, candidate)
+            # The bypass requires the load to read exactly what the queued
+            # store will write: same base, stride and length, both strided
+            # vector accesses (paper §7).
+            if (
+                not candidate.drained
+                and candidate.is_vector
+                and not indexed
+                and not candidate.indexed
+                and base == candidate.base
+                and stride_elements == candidate.stride_elements
+                and vector_length == candidate.length
+            ):
+                return self._bypass_load(vector_length, requested, candidate)
 
         if conflict_index is not None:
             requested = max(requested, self._drain_through(conflict_index))
             self.disambiguation_stalls += 1
 
-        return self._memory_load(record, requested)
+        return self._memory_load(vector_length, requested)
 
-    def issue_scalar_load(self, record: DynamicInstruction, requested: int) -> int:
+    def issue_scalar_load(self, base: int, requested: int) -> int:
         """Service a scalar load through the cache; return its data-ready cycle."""
-        load_range = range_of_access(record)
+        load_range = MemoryRange(base, base + ELEMENT_SIZE_BYTES)
         conflict_index = self._youngest_conflict(load_range)
         if conflict_index is not None:
             requested = max(requested, self._drain_through(conflict_index))
             self.disambiguation_stalls += 1
 
-        access = self.fabric.scalar_access(record)
+        access = self.fabric.scalar_access_at(base, False)
         if access.hit:
             return self.fabric.scalar_load_ready(access, requested)
 
         self._drain_ready_stores(requested)
-        bus_start, _bus_end = self.fabric.occupy_scalar_bus(requested, record)
+        bus_start, _bus_end = self.fabric.occupy_bus(
+            requested, self.memory.timings.scalar_bus_cycles, ELEMENT_SIZE_BYTES
+        )
         return self.fabric.scalar_load_ready(access, bus_start)
 
     def _bypass_load(
-        self, record: DynamicInstruction, requested: int, store: PendingStore
+        self, vector_length: int, requested: int, store: PendingStore
     ) -> VectorLoadOutcome:
-        length = max(record.vector_length, 1)
+        length = max(vector_length, 1)
         start, _unit = self.bypass.acquire(max(requested, store.ready), length)
         end = start + length
         self.bypassed_loads += 1
-        self.bypassed_bytes += record.bytes_accessed
+        self.bypassed_bytes += vector_length * ELEMENT_SIZE_BYTES
         store.bypassed_to_loads += 1
         return VectorLoadOutcome(start=start, data_ready=end, bypassed=True)
 
-    def _memory_load(
-        self, record: DynamicInstruction, requested: int
-    ) -> VectorLoadOutcome:
+    def _memory_load(self, vector_length: int, requested: int) -> VectorLoadOutcome:
         self._drain_ready_stores(requested)
-        bus_start, _bus_end = self.fabric.occupy_vector_bus(requested, record)
-        data_ready = self.memory.load_complete(record, bus_start)
+        bus_cycles = self.memory.vector_bus_cycles(vector_length)
+        bus_start, _bus_end = self.fabric.occupy_bus(
+            requested, bus_cycles, vector_length * ELEMENT_SIZE_BYTES
+        )
+        data_ready = self.memory.load_ready(bus_start, bus_cycles)
         return VectorLoadOutcome(start=bus_start, data_ready=data_ready, bypassed=False)
 
     # -- disambiguation and draining ------------------------------------------------------
@@ -318,7 +376,9 @@ class MemoryPipeline:
             return store.drain_end
         ready = store.ready
         if store.is_vector:
-            _bus_start, bus_end = self.fabric.occupy_vector_bus(ready, store.record)
+            _bus_start, bus_end = self.fabric.occupy_bus(
+                ready, store.bus_cycles, store.traffic_bytes
+            )
             self.vsaq.pop(bus_end)
             self.vadq.pop(bus_end)
             store.drain_end = bus_end
@@ -328,9 +388,11 @@ class MemoryPipeline:
         return store.drain_end
 
     def _perform_scalar_store(self, store: PendingStore, ready: int) -> int:
-        access = self.fabric.scalar_access(store.record)
+        access = self.fabric.scalar_access_at(store.base, True)
         if access.uses_port:
-            _bus_start, end = self.fabric.occupy_scalar_bus(ready, store.record)
+            _bus_start, end = self.fabric.occupy_bus(
+                ready, store.bus_cycles, store.traffic_bytes
+            )
         else:
             end = ready + 1
         self.ssaq.pop(end)

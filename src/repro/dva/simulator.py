@@ -13,22 +13,27 @@ a cycle-stepped simulation would give.
 The timing machinery — the owner-aware register scoreboard, the per-processor
 issue pointers, the functional-unit/QMOV/port pools, fetch-stall accounting
 and the completion horizon — is the shared :mod:`repro.engine` kernel; this
-module contributes only the issue rules of the four processors.  The
-decoupling (and its limits) emerge from the timestamps: the address processor
-is free to run ahead of the vector processor because nothing it does waits
-for vector computation — until it meets a full queue, a memory hazard against
-a queued store, or a scalar value that the slower side has not produced yet
-(the DYFESM lockstep case of paper §5).
+module contributes only the issue rules of the four processors.  The main
+loop runs over the trace's columns: routing decisions and operand lists are
+precomputed per unique static instruction (cached on the trace via
+:meth:`~repro.trace.columns.ColumnarTrace.instruction_infos` and the
+``dva_routes`` annotation), and the dynamic facts — vector length, stride,
+base address — are integer column reads held in locals.  The decoupling (and
+its limits) emerge from the timestamps: the address processor is free to run
+ahead of the vector processor because nothing it does waits for vector
+computation — until it meets a full queue, a memory hazard against a queued
+store, or a scalar value that the slower side has not produced yet (the
+DYFESM lockstep case of paper §5).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import List, Optional, Tuple
 
 from repro.common.errors import SimulationError
 from repro.dva.address import MemoryPipeline
 from repro.dva.config import DecoupledConfig
-from repro.dva.fetch import Processor, RoutingDecision, route
+from repro.dva.fetch import Processor, route_instruction
 from repro.dva.queues import TimedQueue
 from repro.dva.result import DecoupledResult
 from repro.dva.vector import VectorExecutionResources
@@ -36,7 +41,67 @@ from repro.engine import TimingCore
 from repro.isa.opcodes import Opcode
 from repro.isa.registers import Register, RegisterClass
 from repro.memory.model import MemoryModel
-from repro.trace.record import DynamicInstruction, Trace
+from repro.trace.columns import ColumnarTrace, InstructionInfo
+from repro.trace.record import Trace
+
+#: Queue-move dispatch codes precomputed per unique instruction.
+_QMOV_NONE = 0
+_QMOV_V_LOAD = 1
+_QMOV_V_STORE = 2
+_QMOV_S_LOAD = 3
+_QMOV_S_STORE = 4
+
+_QMOV_CODES = {
+    None: _QMOV_NONE,
+    Opcode.QMOV_V_LOAD: _QMOV_V_LOAD,
+    Opcode.QMOV_V_STORE: _QMOV_V_STORE,
+    Opcode.QMOV_S_LOAD: _QMOV_S_LOAD,
+    Opcode.QMOV_S_STORE: _QMOV_S_STORE,
+}
+
+#: Primary-processor dispatch codes (also the instruction-queue ids of the
+#: three queue-backed processors, in ``(APIQ, VPIQ, SPIQ)`` order).
+_PRIMARY_ADDRESS = 0
+_PRIMARY_VECTOR = 1
+_PRIMARY_SCALAR = 2
+_PRIMARY_FETCH = 3
+
+_PRIMARY_CODES = {
+    Processor.ADDRESS: _PRIMARY_ADDRESS,
+    Processor.VECTOR: _PRIMARY_VECTOR,
+    Processor.SCALAR: _PRIMARY_SCALAR,
+    Processor.FETCH: _PRIMARY_FETCH,
+}
+
+#: One routing entry per unique instruction: (primary dispatch code, QMOV
+#: dispatch code, instruction-queue ids receiving an entry).
+RouteEntry = Tuple[int, int, Tuple[int, ...]]
+
+
+def _routing_table(columns: ColumnarTrace) -> List[RouteEntry]:
+    """The fetch processor's decisions for every unique instruction.
+
+    Entries are plain integer codes (not enums or objects) so the main loop
+    dispatches on them without hashing.  Cached on the trace's annotation
+    dict, so repeated simulations of the same trace (every latency and
+    machine variant of a sweep) share it.
+    """
+    infos = columns.instruction_infos()
+    table = columns.annotations.get("dva_routes")
+    if isinstance(table, list) and len(table) == len(infos):
+        return table
+    table = []
+    for info in infos:
+        decision = route_instruction(info.instruction)
+        table.append(
+            (
+                _PRIMARY_CODES[decision.primary],
+                _QMOV_CODES[decision.queue_move],
+                tuple(_PRIMARY_CODES[target] for target in decision.targets()),
+            )
+        )
+    columns.annotations["dva_routes"] = table
+    return table
 
 
 def _default_owner(register: Register) -> Processor:
@@ -62,8 +127,7 @@ class DecoupledSimulator:
 
     def run(self, trace: Trace) -> DecoupledResult:
         state = _DecoupledState(self.memory_model, self.config)
-        for record in trace.records:
-            state.step(record)
+        state.consume(trace)
         return state.finish(trace)
 
 
@@ -92,6 +156,8 @@ class _DecoupledState:
         self.apiq = TimedQueue("APIQ", queue_size)
         self.vpiq = TimedQueue("VPIQ", queue_size)
         self.spiq = TimedQueue("SPIQ", queue_size)
+        # Indexed by the routing table's integer queue ids.
+        self._iqs = (self.apiq, self.vpiq, self.spiq)
 
         # Per-processor issue pointers: each processor is a one-unit pool
         # whose free time is the cycle it will look at its next instruction
@@ -101,14 +167,15 @@ class _DecoupledState:
         self.vp = self.core.add_pool("VP", record=False)
         self.sp = self.core.add_pool("SP", record=False)
 
-        self.counts: Dict[str, int] = {
-            "FP": 0,
-            "AP": 0,
-            "VP": 0,
-            "SP": 0,
-            "vector_loads": 0,
-            "vector_stores": 0,
-        }
+        # Per-processor instruction counters; folded into the result's
+        # ``instructions_per_processor`` dict at wind-down (plain int
+        # attributes keep the hot loop free of dict writes).
+        self.fp_count = 0
+        self.ap_count = 0
+        self.vp_count = 0
+        self.sp_count = 0
+        self.vector_loads = 0
+        self.vector_stores = 0
 
     # -- register bookkeeping ----------------------------------------------------------
 
@@ -139,118 +206,146 @@ class _DecoupledState:
             register, ready, chain_start=chain_start, owner=owner
         )
 
-    # -- main step ------------------------------------------------------------------------
+    # -- main loop ------------------------------------------------------------------------
 
-    def step(self, record: DynamicInstruction) -> None:
-        decision = route(record)
-        self.counts["FP"] += 1
-        if record.instruction.is_vector_memory:
-            key = "vector_loads" if record.is_load else "vector_stores"
-            self.counts[key] += 1
+    def consume(self, trace: Trace) -> None:
+        """Fetch, execute and queue-move every traced instruction in order.
 
-        entries = self._fetch(record, decision)
-        self._execute_primary(record, decision, entries)
-        self._execute_queue_move(record, decision, entries)
+        One pass over the columns: static facts come from the shared
+        instruction-info and routing tables, dynamic facts (VL, stride, base
+        address) are integer column reads held in locals.
+        """
+        columns = trace.columns
+        infos = columns.instruction_infos()
+        routes = _routing_table(columns)
+        insn = columns.insn
+        lengths = columns.vl
+        strides = columns.stride
+        addresses = columns.addr
 
-    # -- fetch processor ---------------------------------------------------------------------
+        core = self.core
+        iqs = self._iqs
+        fp_free = self.fp.free
+        fetch_stall = core.stalls.stall
+        address_execute = self._address_execute
+        vector_compute = self._vector_compute
+        scalar_execute = self._scalar_execute
 
-    def _instruction_queue(self, processor: Processor) -> TimedQueue:
-        if processor is Processor.ADDRESS:
-            return self.apiq
-        if processor is Processor.VECTOR:
-            return self.vpiq
-        if processor is Processor.SCALAR:
-            return self.spiq
-        raise SimulationError(f"processor {processor} has no instruction queue")
+        vector_loads = 0
+        vector_stores = 0
 
-    def _fetch(
-        self, record: DynamicInstruction, decision: RoutingDecision
-    ) -> Dict[Processor, int]:
-        """Translate and distribute one instruction; return the IQ entry indices."""
-        targets = decision.targets()
-        requested = self.fp.free_time()
-        push_time = requested
-        for processor in targets:
-            push_time = max(push_time, self._instruction_queue(processor).earliest_push(requested))
-        self.core.stalls.stall("fetch", push_time - requested)
+        for index in range(len(insn)):
+            table_index = insn[index]
+            info = infos[table_index]
+            primary, qmov, targets = routes[table_index]
 
-        entries: Dict[Processor, int] = {}
-        for processor in targets:
-            queue = self._instruction_queue(processor)
-            queue.push(push_time, ready=push_time + 1)
-            entries[processor] = queue.last_index
-        self.fp.occupy(push_time, push_time + 1)
-        self.core.bump(push_time + 1)
-        return entries
+            # Fetch: translate and distribute.  The push cycle is the first
+            # cycle every target queue can accept an entry; the entry indices
+            # are remembered for the executing processors (primary first,
+            # QMOV second — push order matters for queue state).
+            push_time = requested = fp_free[0]
+            for queue_id in targets:
+                earliest = iqs[queue_id].earliest_push(requested)
+                if earliest > push_time:
+                    push_time = earliest
+            if push_time > requested:
+                fetch_stall("fetch", push_time - requested)
+            primary_entry = qmov_entry = -1
+            for queue_id in targets:
+                entry = iqs[queue_id].push_at(push_time, push_time + 1)
+                if primary_entry < 0:
+                    primary_entry = entry
+                else:
+                    qmov_entry = entry
+            fp_free[0] = push_time + 1
+            if push_time + 1 > core.horizon:
+                core.horizon = push_time + 1
 
-    # -- primary execution -----------------------------------------------------------------------
+            if primary == _PRIMARY_ADDRESS:
+                if info.is_vector_memory:
+                    if info.is_load:
+                        vector_loads += 1
+                    else:
+                        vector_stores += 1
+                address_execute(
+                    info, index, lengths[index], strides[index],
+                    addresses[index], primary_entry,
+                )
+            elif primary == _PRIMARY_VECTOR:
+                vector_compute(info, lengths[index], primary_entry)
+            elif primary == _PRIMARY_SCALAR:
+                scalar_execute(info, primary_entry)
+            # _PRIMARY_FETCH: consumed during translation, nothing further.
 
-    def _execute_primary(
-        self,
-        record: DynamicInstruction,
-        decision: RoutingDecision,
-        entries: Dict[Processor, int],
-    ) -> None:
-        if decision.primary is Processor.ADDRESS:
-            self._address_execute(record, entries[Processor.ADDRESS])
-        elif decision.primary is Processor.VECTOR:
-            self._vector_compute(record, entries[Processor.VECTOR])
-        elif decision.primary is Processor.SCALAR:
-            self._scalar_execute(record, entries[Processor.SCALAR])
-        # Processor.FETCH: consumed during translation, nothing further to do.
+            if qmov == _QMOV_NONE:
+                continue
+            if qmov == _QMOV_V_LOAD:
+                self._vector_qmov_load(info, lengths[index], qmov_entry)
+            elif qmov == _QMOV_V_STORE:
+                self._vector_qmov_store(info, index, lengths[index], qmov_entry)
+            elif qmov == _QMOV_S_LOAD:
+                self._scalar_qmov_load(info, qmov_entry)
+            else:
+                self._scalar_qmov_store(info, index, qmov_entry)
 
-    def _execute_queue_move(
-        self,
-        record: DynamicInstruction,
-        decision: RoutingDecision,
-        entries: Dict[Processor, int],
-    ) -> None:
-        queue_move = decision.queue_move
-        if queue_move is None:
-            return
-        if queue_move is Opcode.QMOV_V_LOAD:
-            self._vector_qmov_load(record, entries[Processor.VECTOR])
-        elif queue_move is Opcode.QMOV_V_STORE:
-            self._vector_qmov_store(record, entries[Processor.VECTOR])
-        elif queue_move is Opcode.QMOV_S_LOAD:
-            self._scalar_qmov_load(record, entries[Processor.SCALAR])
-        elif queue_move is Opcode.QMOV_S_STORE:
-            self._scalar_qmov_store(record, entries[Processor.SCALAR])
+        self.fp_count += len(insn)
+        self.vector_loads += vector_loads
+        self.vector_stores += vector_stores
 
     # -- address processor --------------------------------------------------------------------------
 
-    def _address_execute(self, record: DynamicInstruction, entry_index: int) -> None:
-        self.counts["AP"] += 1
-        instruction = record.instruction
-        ready = self.apiq.entries[entry_index].ready_time
-        start = max(self.ap.free_time(), ready)
+    def _address_execute(
+        self,
+        info: InstructionInfo,
+        index: int,
+        vector_length: int,
+        stride_elements: int,
+        address: int,
+        entry_index: int,
+    ) -> None:
+        self.ap_count += 1
+        ready = self.apiq.ready_times[entry_index]
+        free = self.ap.free[0]
+        start = free if free > ready else ready
         # The AP only waits for scalar operands (addresses, lengths); the data
         # registers of vector accesses belong to the VP and travel through the
         # queues instead.
-        for register in instruction.scalar_sources():
-            start = max(start, self._operand_time(register, Processor.ADDRESS))
+        for register in info.scalar_sources:
+            operand = self._operand_time(register, Processor.ADDRESS)
+            if operand > start:
+                start = operand
 
-        if instruction.is_vector_memory and instruction.is_load:
-            start = max(start, self.memory.reserve_load_data_slot(start))
-            outcome = self.memory.issue_vector_load(record, start)
-            self.memory.avdq.push(start, ready=outcome.data_ready)
-            self.core.bump(outcome.data_ready)
-            finish = start + 1
-        elif instruction.is_vector_memory:
-            push_time = self.memory.enqueue_vector_store(record, start)
-            finish = max(start, push_time) + 1
-        elif instruction.is_scalar_memory and instruction.is_load:
-            data_ready = self.memory.issue_scalar_load(record, start)
-            self.memory.asdq.push(start, ready=data_ready)
-            self.core.bump(data_ready)
-            finish = start + 1
-        elif instruction.is_scalar_memory:
-            push_time = self.memory.enqueue_scalar_store(record, start)
-            finish = max(start, push_time) + 1
+        memory = self.memory
+        if info.is_vector_memory:
+            if info.is_load:
+                slot = memory.reserve_load_data_slot(start)
+                if slot > start:
+                    start = slot
+                outcome = memory.issue_vector_load(
+                    address, vector_length, stride_elements, info.is_indexed, start
+                )
+                memory.avdq.push(start, ready=outcome.data_ready)
+                self.core.bump(outcome.data_ready)
+                finish = start + 1
+            else:
+                push_time = memory.enqueue_vector_store(
+                    index, address, vector_length, stride_elements,
+                    info.is_indexed, start,
+                )
+                finish = max(start, push_time) + 1
+        elif info.is_scalar_memory:
+            if info.is_load:
+                data_ready = memory.issue_scalar_load(address, start)
+                memory.asdq.push(start, ready=data_ready)
+                self.core.bump(data_ready)
+                finish = start + 1
+            else:
+                push_time = memory.enqueue_scalar_store(index, address, start)
+                finish = max(start, push_time) + 1
         else:
             # Address arithmetic and AP-resolved branches take one cycle.
             finish = start + 1
-            for register in instruction.destinations:
+            for register in info.destinations:
                 self._set_register(register, Processor.ADDRESS, finish)
 
         self.apiq.pop(start)
@@ -259,40 +354,44 @@ class _DecoupledState:
 
     # -- vector processor -----------------------------------------------------------------------------
 
-    def _vector_compute(self, record: DynamicInstruction, entry_index: int) -> None:
-        self.counts["VP"] += 1
-        instruction = record.instruction
-        ready = self.vpiq.entries[entry_index].ready_time
-        start = max(self.vp.free_time(), ready)
-        for register in instruction.sources:
-            if register.register_class in (RegisterClass.VECTOR_LENGTH, RegisterClass.VECTOR_STRIDE):
-                continue
-            start = max(
-                start, self._operand_time(register, Processor.VECTOR, allow_chain=True)
-            )
+    def _vector_compute(
+        self, info: InstructionInfo, vector_length: int, entry_index: int
+    ) -> None:
+        self.vp_count += 1
+        ready = self.vpiq.ready_times[entry_index]
+        free = self.vp.free[0]
+        start = free if free > ready else ready
+        for register in info.data_sources:
+            operand = self._operand_time(register, Processor.VECTOR, allow_chain=True)
+            if operand > start:
+                start = operand
 
-        length = max(record.vector_length, 1)
+        length = vector_length if vector_length > 1 else 1
         start, busy = self.resources.acquire_functional_unit(
-            start, length, instruction.requires_fu2
+            start, length, info.requires_fu2
         )
         self.vpiq.pop(start)
         self.vp.occupy(start, start + 1)
 
         startup = self.config.functional_unit_startup
         completion = start + startup + busy
-        for register in instruction.destinations:
-            chain = start + startup if register.is_vector else None
+        for register, is_vector in info.destination_flags:
+            chain = start + startup if is_vector else None
             self._set_register(register, Processor.VECTOR, completion, chain)
         self.core.bump(completion)
 
-    def _vector_qmov_load(self, record: DynamicInstruction, entry_index: int) -> None:
-        self.counts["VP"] += 1
-        ready = self.vpiq.entries[entry_index].ready_time
-        start = max(self.vp.free_time(), ready)
-        front = self.memory.avdq.front()
-        start = max(start, front.ready_time)
+    def _vector_qmov_load(
+        self, info: InstructionInfo, vector_length: int, entry_index: int
+    ) -> None:
+        self.vp_count += 1
+        ready = self.vpiq.ready_times[entry_index]
+        free = self.vp.free[0]
+        start = free if free > ready else ready
+        front_ready = self.memory.avdq.front_ready()
+        if front_ready > start:
+            start = front_ready
 
-        length = max(record.vector_length, 1)
+        length = vector_length if vector_length > 1 else 1
         start, _unit = self.resources.acquire_qmov_unit(start, length)
         self.vpiq.pop(start)
         self.vp.occupy(start, start + 1)
@@ -301,78 +400,94 @@ class _DecoupledState:
         self.memory.avdq.pop(end)
         startup = self.config.queue_move_startup
         completion = start + startup + length
-        destinations = record.instruction.vector_destinations()
+        destinations = info.vector_destinations
         if not destinations:
-            raise SimulationError(f"vector load without a vector destination: {record}")
+            raise SimulationError(
+                f"vector load without a vector destination: {info.instruction}"
+            )
         self._set_register(
             destinations[0], Processor.VECTOR, completion, chain_start=start + startup
         )
         self.core.bump(completion)
 
-    def _vector_qmov_store(self, record: DynamicInstruction, entry_index: int) -> None:
-        self.counts["VP"] += 1
-        ready = self.vpiq.entries[entry_index].ready_time
-        start = max(self.vp.free_time(), ready)
-        sources = record.instruction.vector_sources()
+    def _vector_qmov_store(
+        self, info: InstructionInfo, index: int, vector_length: int, entry_index: int
+    ) -> None:
+        self.vp_count += 1
+        ready = self.vpiq.ready_times[entry_index]
+        free = self.vp.free[0]
+        start = free if free > ready else ready
+        sources = info.vector_sources
         if not sources:
-            raise SimulationError(f"vector store without a vector data register: {record}")
-        start = max(
-            start, self._operand_time(sources[0], Processor.VECTOR, allow_chain=True)
-        )
-        start = max(start, self.memory.reserve_vector_store_data_slot(start))
+            raise SimulationError(
+                f"vector store without a vector data register: {info.instruction}"
+            )
+        operand = self._operand_time(sources[0], Processor.VECTOR, allow_chain=True)
+        if operand > start:
+            start = operand
+        slot = self.memory.reserve_vector_store_data_slot(start)
+        if slot > start:
+            start = slot
 
-        length = max(record.vector_length, 1)
+        length = vector_length if vector_length > 1 else 1
         start, _unit = self.resources.acquire_qmov_unit(start, length)
         self.vpiq.pop(start)
         self.vp.occupy(start, start + 1)
 
         data_ready = start + length
-        self.memory.attach_vector_store_data(record, push_time=start, data_ready=data_ready)
+        self.memory.attach_vector_store_data(index, push_time=start, data_ready=data_ready)
         self.core.bump(data_ready)
 
     # -- scalar processor ----------------------------------------------------------------------------------
 
-    def _scalar_execute(self, record: DynamicInstruction, entry_index: int) -> None:
-        self.counts["SP"] += 1
-        instruction = record.instruction
-        ready = self.spiq.entries[entry_index].ready_time
-        start = max(self.sp.free_time(), ready)
-        for register in instruction.sources:
-            start = max(start, self._operand_time(register, Processor.SCALAR))
+    def _scalar_execute(self, info: InstructionInfo, entry_index: int) -> None:
+        self.sp_count += 1
+        ready = self.spiq.ready_times[entry_index]
+        free = self.sp.free[0]
+        start = free if free > ready else ready
+        for register in info.sources:
+            operand = self._operand_time(register, Processor.SCALAR)
+            if operand > start:
+                start = operand
 
         self.spiq.pop(start)
         self.sp.occupy(start, start + 1)
         completion = start + 1
-        for register in instruction.destinations:
+        for register in info.destinations:
             self._set_register(register, Processor.SCALAR, completion)
         self.core.bump(completion)
 
-    def _scalar_qmov_load(self, record: DynamicInstruction, entry_index: int) -> None:
-        self.counts["SP"] += 1
-        ready = self.spiq.entries[entry_index].ready_time
-        front = self.memory.asdq.front()
-        start = max(self.sp.free_time(), ready, front.ready_time)
+    def _scalar_qmov_load(self, info: InstructionInfo, entry_index: int) -> None:
+        self.sp_count += 1
+        ready = self.spiq.ready_times[entry_index]
+        front_ready = self.memory.asdq.front_ready()
+        start = max(self.sp.free[0], ready, front_ready)
 
         self.spiq.pop(start)
         self.sp.occupy(start, start + 1)
         self.memory.asdq.pop(start + 1)
         completion = start + 1
-        destinations = record.instruction.scalar_destinations()
+        destinations = info.scalar_destinations
         if destinations:
             self._set_register(destinations[0], Processor.SCALAR, completion)
         self.core.bump(completion)
 
-    def _scalar_qmov_store(self, record: DynamicInstruction, entry_index: int) -> None:
-        self.counts["SP"] += 1
-        ready = self.spiq.entries[entry_index].ready_time
-        start = max(self.sp.free_time(), ready)
-        sources = record.instruction.scalar_sources()
+    def _scalar_qmov_store(
+        self, info: InstructionInfo, index: int, entry_index: int
+    ) -> None:
+        self.sp_count += 1
+        ready = self.spiq.ready_times[entry_index]
+        free = self.sp.free[0]
+        start = free if free > ready else ready
+        sources = info.scalar_sources
         if sources:
-            start = max(start, self._operand_time(sources[0], Processor.SCALAR))
+            operand = self._operand_time(sources[0], Processor.SCALAR)
+            if operand > start:
+                start = operand
 
         self.spiq.pop(start)
         self.sp.occupy(start, start + 1)
-        self.memory.attach_scalar_store_data(record, push_time=start, data_ready=start + 1)
+        self.memory.attach_scalar_store_data(index, push_time=start, data_ready=start + 1)
         self.core.bump(start + 1)
 
     # -- wind-down ------------------------------------------------------------------------------------------
@@ -388,7 +503,7 @@ class _DecoupledState:
             self.memory.bypass_free,
             drain_end,
         )
-        if not trace.records:
+        if not len(trace):
             total_cycles = 0
 
         instruction_queue_occupancy = {
@@ -396,12 +511,19 @@ class _DecoupledState:
             "VPIQ": self.vpiq.occupancy_timeline(horizon=total_cycles),
             "SPIQ": self.spiq.occupancy_timeline(horizon=total_cycles),
         }
-        counts = dict(self.counts)
+        counts = {
+            "FP": self.fp_count,
+            "AP": self.ap_count,
+            "VP": self.vp_count,
+            "SP": self.sp_count,
+            "vector_loads": self.vector_loads,
+            "vector_stores": self.vector_stores,
+        }
         return DecoupledResult(
             program=trace.name,
             latency=self.memory.memory.latency,
             total_cycles=total_cycles,
-            instructions=len(trace.records),
+            instructions=len(trace),
             bypass_enabled=self.config.enable_bypass,
             fu1_busy=self.resources.fu1,
             fu2_busy=self.resources.fu2,

@@ -28,7 +28,10 @@ over these primitives rather than a new 400-line simulator.
 #: what ``tests/golden`` exists to catch) — must bump this constant: it is
 #: folded into every :mod:`repro.store` cache key, so bumping it keeps
 #: results persisted by the old timing model from being served as hits.
-TIMING_MODEL_VERSION = 1
+#: v2: the columnar hot-loop restructuring — cycle-for-cycle identical (the
+#: golden suite pins it), but results persisted by the record-at-a-time
+#: implementation are not served as hits across the representation change.
+TIMING_MODEL_VERSION = 2
 
 from repro.engine.memory import MemoryFabric, ScalarAccess
 from repro.engine.resources import ResourcePool, occupancy_cycles

@@ -70,20 +70,24 @@ class MemoryFabric:
 
     # -- scalar cache ------------------------------------------------------------------
 
-    def scalar_access(self, record: DynamicInstruction) -> ScalarAccess:
+    def scalar_access_at(self, address: int, is_store: bool) -> ScalarAccess:
         """Present one scalar reference to the cache; decide port usage.
 
         Loads use the port only on a miss.  Stores additionally use it on a
         hit when the machine writes through (both seed machines shared this
         policy, each with its own copy of the code).
         """
-        if record.base_address is None:
-            raise SimulationError(f"scalar memory access without address: {record}")
-        hit = self.cache.access(record.base_address)
+        hit = self.cache.access(address)
         uses_port = not hit
-        if record.instruction.is_store and self.scalar_store_writes_through:
+        if is_store and self.scalar_store_writes_through:
             uses_port = True
         return ScalarAccess(hit=hit, uses_port=uses_port)
+
+    def scalar_access(self, record: DynamicInstruction) -> ScalarAccess:
+        """Record-object form of :meth:`scalar_access_at`."""
+        if record.base_address is None:
+            raise SimulationError(f"scalar memory access without address: {record}")
+        return self.scalar_access_at(record.base_address, record.instruction.is_store)
 
     def scalar_load_ready(self, access: ScalarAccess, start: int) -> int:
         """Cycle a scalar load's value arrives, given its bus/issue start."""
@@ -93,20 +97,33 @@ class MemoryFabric:
 
     # -- bus occupation ----------------------------------------------------------------
 
+    def occupy_bus(self, earliest: int, cycles: int, traffic: int) -> Tuple[int, int]:
+        """Drive one reference over a port for ``cycles``; return ``(start, end)``.
+
+        This is the hot-loop primitive: the caller supplies the bus occupancy
+        and the bytes moved (both derived from trace columns), the fabric
+        picks the least-loaded port unit and accounts the traffic.
+        """
+        start, _unit = self.ports.acquire(earliest, cycles)
+        self.traffic_bytes += traffic
+        return start, start + cycles
+
     def occupy_scalar_bus(
         self, earliest: int, record: DynamicInstruction
     ) -> Tuple[int, int]:
         """Drive one scalar reference over a port; return ``(start, end)``."""
-        cycles = self.memory.timings.scalar_bus_cycles
-        start, _unit = self.ports.acquire(earliest, cycles)
-        self.traffic_bytes += self.memory.traffic_bytes(record)
-        return start, start + cycles
+        return self.occupy_bus(
+            earliest,
+            self.memory.timings.scalar_bus_cycles,
+            self.memory.traffic_bytes(record),
+        )
 
     def occupy_vector_bus(
         self, earliest: int, record: DynamicInstruction
     ) -> Tuple[int, int]:
         """Drive one vector reference over a port; return ``(start, end)``."""
-        cycles = self.memory.bus_occupancy(record)
-        start, _unit = self.ports.acquire(earliest, cycles)
-        self.traffic_bytes += self.memory.traffic_bytes(record)
-        return start, start + cycles
+        return self.occupy_bus(
+            earliest,
+            self.memory.bus_occupancy(record),
+            self.memory.traffic_bytes(record),
+        )

@@ -16,7 +16,7 @@ from typing import Callable, Dict, Hashable, Optional
 from repro.isa.registers import Register
 
 
-@dataclass
+@dataclass(slots=True)
 class RegisterEntry:
     """Availability of one architectural register.
 
@@ -69,8 +69,16 @@ class Scoreboard:
         Chaining applies only when the consumer asks for it and the value is
         local (same owner, or ownership untracked).  A value owned by another
         producer arrives ``cross_delay`` cycles after it is fully written.
+
+        The entry lookup is inlined (rather than delegated to :meth:`entry`)
+        because this method runs once per operand of every traced
+        instruction.
         """
-        entry = self.entry(register)
+        entry = self._entries.get(register)
+        if entry is None:
+            owner = self._default_owner(register) if self._default_owner else None
+            entry = RegisterEntry(owner=owner)
+            self._entries[register] = entry
         if consumer is not None and entry.owner is not consumer:
             return entry.ready + cross_delay
         if allow_chain and entry.chain_start is not None:
@@ -90,7 +98,11 @@ class Scoreboard:
         ``chain_start=None`` marks the value non-chainable (every write
         resolves chainability anew).  ``owner=None`` keeps the current owner.
         """
-        entry = self.entry(register)
+        entry = self._entries.get(register)
+        if entry is None:
+            default = self._default_owner(register) if self._default_owner else None
+            entry = RegisterEntry(owner=default)
+            self._entries[register] = entry
         entry.ready = ready
         entry.chain_start = chain_start
         if owner is not None:

@@ -64,6 +64,14 @@ class Register:
                 f"register index {self.index} out of range for class "
                 f"{self.register_class.value!r} (size {limit})"
             )
+        # Registers key the simulators' scoreboard dictionaries, which are
+        # probed once per operand of every dynamic instruction; caching the
+        # (immutable) hash here keeps those probes from re-hashing the enum
+        # member and index tuple millions of times per run.
+        object.__setattr__(self, "_hash", hash((self.register_class, self.index)))
+
+    def __hash__(self) -> int:
+        return self._hash  # type: ignore[attr-defined]
 
     @property
     def is_vector(self) -> bool:
@@ -90,26 +98,46 @@ class Register:
         return self.name
 
 
+_REGISTER_CACHE: dict[tuple[RegisterClass, int], Register] = {}
+
+
+def canonical_register(register_class: RegisterClass, index: int) -> Register:
+    """The interned :class:`Register` for ``(register_class, index)``.
+
+    The register files are tiny, so every register that appears in a program
+    can be a single shared object.  Interning makes the scoreboard's
+    dictionary probes hit on identity instead of falling back to field
+    comparison — a measurable win when every traced instruction's operands
+    are looked up.
+    """
+    key = (register_class, index)
+    register = _REGISTER_CACHE.get(key)
+    if register is None:
+        register = Register(register_class, index)
+        _REGISTER_CACHE[key] = register
+    return register
+
+
 def a_reg(index: int) -> Register:
     """Shorthand constructor for an address register."""
-    return Register(RegisterClass.ADDRESS, index)
+    return canonical_register(RegisterClass.ADDRESS, index)
 
 
 def s_reg(index: int) -> Register:
     """Shorthand constructor for a scalar register."""
-    return Register(RegisterClass.SCALAR, index)
+    return canonical_register(RegisterClass.SCALAR, index)
 
 
 def v_reg(index: int) -> Register:
     """Shorthand constructor for a vector register."""
-    return Register(RegisterClass.VECTOR, index)
+    return canonical_register(RegisterClass.VECTOR, index)
 
 
 #: The (single) vector length register.
-VL_REGISTER = Register(RegisterClass.VECTOR_LENGTH, 0)
+VL_REGISTER = canonical_register(RegisterClass.VECTOR_LENGTH, 0)
 
 #: The (single) vector stride register.
-VS_REGISTER = Register(RegisterClass.VECTOR_STRIDE, 0)
+VS_REGISTER = canonical_register(RegisterClass.VECTOR_STRIDE, 0)
 
 
 class RegisterFile:

@@ -63,34 +63,51 @@ class MemoryRange:
 FULL_RANGE = MemoryRange(full=True)
 
 
-def range_of_access(record: DynamicInstruction) -> MemoryRange:
-    """The memory range accessed by one traced memory instruction.
+def access_range(
+    base: int,
+    vector_length: int,
+    stride_elements: int,
+    *,
+    is_scalar: bool = False,
+    indexed: bool = False,
+) -> MemoryRange:
+    """The memory range of one access, from its scalar description.
 
-    Scalar references cover one element.  Strided vector references follow the
-    paper's formula.  Indexed references (gathers/scatters) return
+    This is the hot-loop form of :func:`range_of_access`: the simulators read
+    base/length/stride straight off trace columns instead of a record object.
+    Scalar references cover one element; strided vector references follow the
+    paper's formula; indexed references (gathers/scatters) return
     :data:`FULL_RANGE`.
     """
+    if indexed:
+        return FULL_RANGE
+    if is_scalar:
+        return MemoryRange(base, base + ELEMENT_SIZE_BYTES)
+    if vector_length == 0:
+        # A zero-length vector reference touches no memory at all.
+        return MemoryRange(base, base)
+    span = (vector_length - 1) * stride_elements * ELEMENT_SIZE_BYTES
+    if span >= 0:
+        return MemoryRange(base, base + span + ELEMENT_SIZE_BYTES)
+    return MemoryRange(base + span, base + ELEMENT_SIZE_BYTES)
+
+
+def range_of_access(record: DynamicInstruction) -> MemoryRange:
+    """The memory range accessed by one traced memory instruction."""
     if not record.is_memory:
         raise SimulationError(f"{record} is not a memory access")
     if record.is_indexed_memory:
         return FULL_RANGE
-
     base = record.base_address
     if base is None:
         raise SimulationError(f"{record} carries no base address")
-
-    if record.is_scalar_memory:
-        return MemoryRange(base, base + ELEMENT_SIZE_BYTES)
-
-    length = record.vector_length
-    if length == 0:
-        # A zero-length vector reference touches no memory at all.
-        return MemoryRange(base, base)
-    stride_bytes = record.stride_elements * ELEMENT_SIZE_BYTES
-    span = (length - 1) * stride_bytes
-    if span >= 0:
-        return MemoryRange(base, base + span + ELEMENT_SIZE_BYTES)
-    return MemoryRange(base + span, base + ELEMENT_SIZE_BYTES)
+    return access_range(
+        base,
+        record.vector_length,
+        record.stride_elements,
+        is_scalar=record.is_scalar_memory,
+        indexed=False,
+    )
 
 
 def ranges_conflict(first: MemoryRange, second: MemoryRange) -> bool:

@@ -14,9 +14,13 @@ started executing.  An instruction starts executing when
 The timing machinery — the register scoreboard, the functional-unit and
 memory-port pools, stall accounting and the completion horizon — is the
 shared :mod:`repro.engine` kernel; this module contributes only the issue
-rules of the reference machine.  Processing the trace once in program order
-yields exactly the timing a cycle-by-cycle simulation would produce, at a
-small fraction of the cost.
+rules of the reference machine.  The issue loop runs over the trace's
+columns: per dynamic instruction it reads the precomputed
+:class:`~repro.trace.columns.InstructionInfo` of the static instruction plus
+the vector-length and address columns into locals, so the per-record cost is
+integer indexing rather than attribute access on record objects.  Processing
+the trace once in program order yields exactly the timing a cycle-by-cycle
+simulation would produce, at a small fraction of the cost.
 """
 
 from __future__ import annotations
@@ -25,12 +29,17 @@ from typing import Optional
 
 from repro.common.errors import SimulationError
 from repro.engine import MemoryFabric, TimingCore, occupancy_cycles
-from repro.isa.opcodes import OpcodeClass
-from repro.isa.registers import Register
+from repro.isa.registers import ELEMENT_SIZE_BYTES
 from repro.memory.model import MemoryModel
 from repro.refarch.config import ReferenceConfig
 from repro.refarch.result import ReferenceResult
-from repro.trace.record import DynamicInstruction, Trace
+from repro.trace.columns import (
+    KIND_QUEUE_MOVE,
+    KIND_SCALAR_MEMORY,
+    KIND_VECTOR_COMPUTE,
+    KIND_VECTOR_MEMORY,
+)
+from repro.trace.record import Trace
 
 _FU1 = 0
 _FU2 = 1
@@ -52,8 +61,7 @@ class ReferenceSimulator:
     def run(self, trace: Trace) -> ReferenceResult:
         """Simulate ``trace`` and return the measured result."""
         state = _SimulationState(self.memory, self.config)
-        for record in trace.records:
-            state.issue(record)
+        state.consume(trace)
         return state.finish(trace)
 
 
@@ -87,48 +95,53 @@ class _SimulationState:
         self.vector_instructions = 0
         self.scalar_instructions = 0
 
-    # -- register helpers ------------------------------------------------------------
+    # -- main issue loop ---------------------------------------------------------------
 
-    def _operand_ready(self, record: DynamicInstruction, register: Register) -> int:
-        """Cycle at which ``record`` may start as far as ``register`` is concerned."""
-        return self.core.scoreboard.read(
-            register, allow_chain=self._consumer_may_chain(record)
-        )
+    def consume(self, trace: Trace) -> None:
+        """Issue every dynamic instruction of the trace, in program order.
 
-    def _consumer_may_chain(self, record: DynamicInstruction) -> bool:
-        """Chaining targets: vector arithmetic and vector stores (paper §2.1)."""
-        instruction = record.instruction
-        if instruction.opcode_class is OpcodeClass.VECTOR_COMPUTE:
-            return True
-        return instruction.is_store and instruction.is_vector_memory
+        One pass over the columns with per-field locals: the static facts of
+        each instruction come from the shared
+        :class:`~repro.trace.columns.InstructionInfo` table, the dynamic
+        facts (VL, base address) from integer column reads.
+        """
+        columns = trace.columns
+        infos = columns.instruction_infos()
+        insn = columns.insn
+        lengths = columns.vl
+        addresses = columns.addr
+        read = self.core.scoreboard.read
 
-    # -- main issue routine ------------------------------------------------------------
+        vector_instructions = 0
+        for index in range(len(insn)):
+            info = infos[insn[index]]
+            may_chain = info.may_chain
+            earliest = self.dispatch_free
+            for register in info.sources:
+                ready = read(register, allow_chain=may_chain)
+                if ready > earliest:
+                    earliest = ready
 
-    def issue(self, record: DynamicInstruction) -> None:
-        instruction = record.instruction
-        self.instructions += 1
-        if record.is_vector:
-            self.vector_instructions += 1
-        else:
-            self.scalar_instructions += 1
+            kind = info.kind
+            if kind == KIND_VECTOR_COMPUTE:
+                vector_instructions += 1
+                self._issue_vector_compute(info, lengths[index], earliest)
+            elif kind == KIND_VECTOR_MEMORY:
+                vector_instructions += 1
+                self._issue_vector_memory(info, lengths[index], addresses[index], earliest)
+            elif kind == KIND_SCALAR_MEMORY:
+                self._issue_scalar_memory(info, addresses[index], earliest)
+            elif kind == KIND_QUEUE_MOVE:
+                raise SimulationError(
+                    "queue-move opcodes are internal to the decoupled architecture "
+                    "and cannot appear in a reference-architecture trace"
+                )
+            else:
+                self._issue_scalar(info, earliest)
 
-        earliest = self.dispatch_free
-        for register in instruction.sources:
-            earliest = max(earliest, self._operand_ready(record, register))
-
-        if instruction.is_vector_memory:
-            self._issue_vector_memory(record, earliest)
-        elif instruction.is_scalar_memory:
-            self._issue_scalar_memory(record, earliest)
-        elif instruction.opcode_class is OpcodeClass.VECTOR_COMPUTE:
-            self._issue_vector_compute(record, earliest)
-        elif instruction.is_queue_move:
-            raise SimulationError(
-                "queue-move opcodes are internal to the decoupled architecture "
-                "and cannot appear in a reference-architecture trace"
-            )
-        else:
-            self._issue_scalar(record, earliest)
+        self.instructions = len(insn)
+        self.vector_instructions = vector_instructions
+        self.scalar_instructions = len(insn) - vector_instructions
 
     # -- per-class issue rules -----------------------------------------------------------
 
@@ -136,70 +149,79 @@ class _SimulationState:
         self.core.stalls.stall("dispatch", issue_time - self.dispatch_free)
         self.dispatch_free = issue_time + 1
 
-    def _issue_scalar(self, record: DynamicInstruction, earliest: int) -> None:
+    def _issue_scalar(self, info, earliest: int) -> None:
         issue_time = earliest
         self._advance_dispatch(issue_time)
         completion = issue_time + 1
-        for register in record.instruction.destinations:
+        for register in info.destinations:
             self.core.scoreboard.write(register, completion)
         self.core.bump(completion)
         self.core.stalls.account("scalar", 1)
 
-    def _issue_vector_compute(self, record: DynamicInstruction, earliest: int) -> None:
-        instruction = record.instruction
-        busy = occupancy_cycles(record.vector_length, self.config.lanes)
+    def _issue_vector_compute(self, info, vector_length: int, earliest: int) -> None:
+        busy = occupancy_cycles(vector_length, self.config.lanes)
 
-        unit = _FU2 if instruction.requires_fu2 else None
+        unit = _FU2 if info.requires_fu2 else None
         issue_time, _unit = self.fus.acquire(earliest, busy, unit=unit)
         self._advance_dispatch(issue_time)
 
         startup = self.config.functional_unit_startup
         first_element = issue_time + startup
         completion = issue_time + startup + busy
-        for register in instruction.destinations:
+        write = self.core.scoreboard.write
+        for register, is_vector in info.destination_flags:
             # Scalar results of reductions are not chainable; vector results are.
-            self.core.scoreboard.write(
+            write(
                 register,
                 completion,
-                chain_start=first_element if register.is_vector else None,
+                chain_start=first_element if is_vector else None,
             )
         self.core.bump(completion)
         self.core.stalls.account("vector_compute", busy)
 
-    def _issue_vector_memory(self, record: DynamicInstruction, earliest: int) -> None:
-        instruction = record.instruction
-        issue_time, bus_end = self.fabric.occupy_vector_bus(earliest, record)
+    def _issue_vector_memory(
+        self, info, vector_length: int, address: int, earliest: int
+    ) -> None:
+        memory = self.memory
+        bus_cycles = memory.vector_bus_cycles(vector_length)
+        traffic = vector_length * ELEMENT_SIZE_BYTES
+        issue_time, bus_end = self.fabric.occupy_bus(earliest, bus_cycles, traffic)
         self._advance_dispatch(issue_time)
 
-        if instruction.is_load:
-            completion = self.memory.load_complete(record, issue_time)
-            for register in instruction.destinations:
-                chain_start = (
-                    self.memory.first_element_arrival(issue_time)
-                    if self.config.allow_load_chaining
-                    else None
-                )
-                self.core.scoreboard.write(register, completion, chain_start=chain_start)
+        if info.is_load:
+            completion = memory.load_ready(issue_time, bus_cycles)
+            chain_start = (
+                memory.first_element_arrival(issue_time)
+                if self.config.allow_load_chaining
+                else None
+            )
+            write = self.core.scoreboard.write
+            for register in info.destinations:
+                write(register, completion, chain_start=chain_start)
             self.core.bump(completion)
         else:
-            completion = self.memory.store_complete(record, issue_time)
+            completion = issue_time + bus_cycles
             self.core.bump(completion)
         self.core.stalls.account("vector_memory", bus_end - issue_time)
 
-    def _issue_scalar_memory(self, record: DynamicInstruction, earliest: int) -> None:
-        instruction = record.instruction
-        access = self.fabric.scalar_access(record)
+    def _issue_scalar_memory(self, info, address: int, earliest: int) -> None:
+        fabric = self.fabric
+        is_store = info.is_store
+        access = fabric.scalar_access_at(address, is_store)
 
         if access.uses_port:
-            issue_time, _bus_end = self.fabric.occupy_scalar_bus(earliest, record)
+            issue_time, _bus_end = fabric.occupy_bus(
+                earliest, self.memory.timings.scalar_bus_cycles, ELEMENT_SIZE_BYTES
+            )
         else:
             issue_time = earliest
         self._advance_dispatch(issue_time)
 
-        if instruction.is_load:
-            completion = self.fabric.scalar_load_ready(access, issue_time)
-            for register in instruction.destinations:
-                self.core.scoreboard.write(register, completion)
+        if not is_store:
+            completion = fabric.scalar_load_ready(access, issue_time)
+            write = self.core.scoreboard.write
+            for register in info.destinations:
+                write(register, completion)
         else:
             completion = issue_time + 1
         self.core.bump(completion)

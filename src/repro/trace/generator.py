@@ -3,8 +3,9 @@
 The :class:`TraceBuilder` plays the role of running a Dixie-instrumented
 executable: it walks basic blocks in dynamic order, keeps track of the vector
 length and vector stride registers, lays program data regions out in a flat
-address space, and emits one :class:`~repro.trace.record.DynamicInstruction`
-per executed instruction.
+address space, and emits one dynamic record per executed instruction —
+directly into the trace's :class:`~repro.trace.columns.ColumnarTrace`
+columns, with no intermediate record object per instruction.
 """
 
 from __future__ import annotations
@@ -23,7 +24,9 @@ from repro.trace.record import DynamicInstruction, Trace
 #: addresses, vector lengths, region layout, ...) must bump this constant:
 #: it is folded into every :mod:`repro.store` cache key, so bumping it
 #: invalidates persisted results computed from the old streams.
-TRACE_GENERATOR_VERSION = 1
+#: v2: the columnar pipeline — the stream itself is unchanged, but results
+#: persisted before the representation change are not served as hits.
+TRACE_GENERATOR_VERSION = 2
 
 #: Base of the data segment used by the region allocator.
 _DATA_SEGMENT_BASE = 0x1000_0000
@@ -125,17 +128,18 @@ class TraceBuilder:
         region_offsets: Optional[Dict[str, int]] = None,
     ) -> DynamicInstruction:
         """Emit a single dynamic record outside of block replay."""
-        return self._append_instruction(instruction, block_label, region_offsets or {})
+        self._append_instruction(instruction, block_label, region_offsets or {})
+        return self.trace[len(self.trace) - 1]
 
     def _append_instruction(
         self,
         instruction: Instruction,
         block_label: str,
         offsets: Dict[str, int],
-    ) -> DynamicInstruction:
+    ) -> None:
         self._update_control_registers(instruction)
-        record = DynamicInstruction(
-            instruction=instruction,
+        self.trace.columns.append(
+            instruction,
             sequence=self._sequence,
             block_label=block_label,
             vector_length=self._effective_length(instruction),
@@ -143,8 +147,6 @@ class TraceBuilder:
             base_address=self._effective_address(instruction, offsets),
         )
         self._sequence += 1
-        self.trace.append(record)
-        return record
 
     def _update_control_registers(self, instruction: Instruction) -> None:
         if instruction.opcode is Opcode.SET_VL:

@@ -1,23 +1,55 @@
-"""Deserialization of dynamic traces written by :mod:`repro.trace.writer`."""
+"""Deserialization of dynamic traces written by :mod:`repro.trace.writer`.
+
+Both on-disk formats are accepted and detected automatically:
+
+* the native chunked binary column format (version 2), loaded chunk-by-chunk
+  straight into a :class:`~repro.trace.columns.ColumnarTrace` — no
+  per-record objects are created on the way in; and
+* the legacy JSON-lines record format (version 1), parsed line by line and
+  encoded into columns as it streams — the file is never materialized as a
+  list of record objects either.
+
+:func:`iter_trace_records` is the fully streaming record adapter: it yields
+one :class:`~repro.trace.record.DynamicInstruction` view at a time from
+either format without ever holding the whole trace in memory, which is what
+tools that scan huge archived traces should use.
+
+Every malformed input — missing or empty file, unrecognized leading bytes, a
+format version this reader does not speak, a chunk cut short by truncation,
+a record count that disagrees with the header — raises
+:class:`~repro.common.errors.TraceError` with the file position, never a bare
+``struct`` or ``json`` exception.
+"""
 
 from __future__ import annotations
 
 import gzip
 import json
+import struct
+import sys
+from array import array
 from pathlib import Path
-from typing import IO, Union
+from typing import IO, Iterator, List, Union
 
 from repro.common.errors import TraceError
 from repro.isa.instruction import Instruction, MemoryOperand
 from repro.isa.opcodes import Opcode
-from repro.isa.registers import Register, RegisterClass
+from repro.isa.registers import Register, RegisterClass, canonical_register
+from repro.trace.columns import ColumnarTrace
 from repro.trace.record import DynamicInstruction, Trace
-from repro.trace.writer import TRACE_FORMAT_VERSION
+from repro.trace.writer import (
+    INT64_COLUMNS,
+    LEGACY_TRACE_FORMAT_VERSION,
+    TRACE_FORMAT_VERSION,
+    TRACE_MAGIC,
+)
+
+_U32 = struct.Struct("<I")
 
 
 def _register_from_json(payload: list) -> Register:
     register_class, index = payload
-    return Register(RegisterClass(register_class), int(index))
+    return canonical_register(RegisterClass(register_class), int(index))
 
 
 def _instruction_from_json(payload: dict) -> Instruction:
@@ -52,47 +84,300 @@ def record_from_json(payload: dict) -> DynamicInstruction:
     )
 
 
-def _open_for_read(path: Path) -> IO[str]:
+# -- binary column parsing --------------------------------------------------------------
+
+
+def _read_exact(stream: IO[bytes], count: int, source: Path, what: str) -> bytes:
+    data = stream.read(count)
+    if len(data) != count:
+        raise TraceError(
+            f"truncated trace file {source}: expected {count} more bytes "
+            f"of {what}, found {len(data)}"
+        )
+    return data
+
+
+def _read_binary_header(stream: IO[bytes], source: Path) -> dict:
+    header_length = _U32.unpack(
+        _read_exact(stream, _U32.size, source, "header length")
+    )[0]
+    header_bytes = _read_exact(stream, header_length, source, "header")
+    try:
+        header = json.loads(header_bytes)
+    except ValueError as exc:
+        raise TraceError(f"corrupt trace header in {source}: {exc}") from exc
+    version = header.get("format_version")
+    if version != TRACE_FORMAT_VERSION:
+        raise TraceError(
+            f"unsupported trace format version {version!r} in {source} "
+            f"(expected {TRACE_FORMAT_VERSION})"
+        )
+    return header
+
+
+def _decode_instruction_table(header: dict, source: Path) -> List[Instruction]:
+    try:
+        return [
+            _instruction_from_json(payload)
+            for payload in header.get("instructions", [])
+        ]
+    except (KeyError, ValueError) as exc:
+        raise TraceError(
+            f"corrupt instruction table in {source}: {exc}"
+        ) from exc
+
+
+def _int64_column(blob: bytes) -> array:
+    column = array("q")
+    column.frombytes(blob)
+    if sys.byteorder != "little":  # pragma: no cover - big-endian hosts only
+        column.byteswap()
+    return column
+
+
+def _validate_columns(columns: ColumnarTrace, source: Path) -> None:
+    """Enforce the in-memory invariants on bulk-loaded columns.
+
+    Bulk loading bypasses :meth:`ColumnarTrace.append`, so the checks append
+    performs (table references in range, non-negative vector lengths, memory
+    records carry an address) are re-established here — a corrupt file must
+    fail loudly, not surface later as a nonsense statistic.
+    """
+    instruction_count = len(columns.instructions)
+    if any(index >= instruction_count or index < 0 for index in columns.insn):
+        raise TraceError(
+            f"corrupt trace {source}: record references an instruction "
+            f"outside the {instruction_count}-entry table"
+        )
+    label_count = len(columns.block_labels)
+    if any(index >= label_count or index < 0 for index in columns.block):
+        raise TraceError(
+            f"corrupt trace {source}: record references a basic-block label "
+            f"outside the {label_count}-entry table"
+        )
+    if columns.vl and min(columns.vl) < 0:
+        raise TraceError(f"corrupt trace {source}: negative vector length")
+    infos = columns.instruction_infos()
+    insn = columns.insn
+    addresses = columns.addr
+    for index in range(len(insn)):
+        if addresses[index] < 0 and infos[insn[index]].is_memory:
+            raise TraceError(
+                f"corrupt trace {source}: memory record {index} carries "
+                f"no base address"
+            )
+
+
+def _read_columns(stream: IO[bytes], source: Path) -> Trace:
+    header = _read_binary_header(stream, source)
+    columns = ColumnarTrace()
+    columns.instructions = _decode_instruction_table(header, source)
+    columns.block_labels = [str(label) for label in header.get("block_labels", [])]
+
+    expected = int(header.get("records", 0))
+    loaded = 0
+    while loaded < expected:
+        count = _U32.unpack(
+            _read_exact(stream, _U32.size, source, "chunk header")
+        )[0]
+        if count == 0 or loaded + count > expected:
+            raise TraceError(
+                f"corrupt trace chunk in {source}: chunk of {count} records "
+                f"at record {loaded} of {expected}"
+            )
+        for name in INT64_COLUMNS:
+            blob = _read_exact(stream, count * 8, source, f"column {name!r}")
+            getattr(columns, name).extend(_int64_column(blob))
+        columns.kind.extend(_read_exact(stream, count, source, "column 'kind'"))
+        loaded += count
+
+    if stream.read(1):
+        raise TraceError(
+            f"corrupt trace {source}: file contains more data than the "
+            f"{expected} records its header declares"
+        )
+    _validate_columns(columns, source)
+
+    trace = Trace(
+        name=str(header.get("name", source.stem)),
+        blocks_executed=int(header.get("blocks_executed", 0)),
+        metadata=dict(header.get("metadata", {})),
+        columns=columns,
+    )
+    trace.validate()
+    return trace
+
+
+# -- legacy JSON lines ------------------------------------------------------------------
+
+
+def _iter_legacy_records(
+    stream: IO[str], source: Path
+) -> Iterator[DynamicInstruction]:
+    """Parse legacy record lines one at a time (the header is already read)."""
+    for line_number, line in enumerate(stream, start=2):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            yield record_from_json(json.loads(line))
+        except (KeyError, ValueError) as exc:
+            raise TraceError(
+                f"malformed trace record at {source}:{line_number}: {exc}"
+            ) from exc
+
+
+def _read_legacy_header(stream: IO[str], source: Path) -> dict:
+    header_line = stream.readline()
+    if not header_line:
+        raise TraceError(f"trace file is empty: {source}")
+    try:
+        header = json.loads(header_line)
+    except ValueError as exc:
+        raise TraceError(
+            f"unrecognized trace file {source}: neither a chunked-column "
+            f"trace nor a JSON-lines trace ({exc})"
+        ) from exc
+    version = header.get("format_version")
+    if version != LEGACY_TRACE_FORMAT_VERSION:
+        raise TraceError(
+            f"unsupported trace format version {version!r} in {source} "
+            f"(expected {LEGACY_TRACE_FORMAT_VERSION} or {TRACE_FORMAT_VERSION})"
+        )
+    return header
+
+
+def _read_legacy(stream: IO[str], source: Path) -> Trace:
+    header = _read_legacy_header(stream, source)
+    trace = Trace(
+        name=header.get("name", source.stem),
+        blocks_executed=int(header.get("blocks_executed", 0)),
+        metadata=dict(header.get("metadata", {})),
+    )
+    for record in _iter_legacy_records(stream, source):
+        trace.append(record)
+    expected = header.get("records")
+    if expected is not None and expected != len(trace):
+        raise TraceError(
+            f"trace {source} declares {expected} records but contains {len(trace)}"
+        )
+    trace.validate()
+    return trace
+
+
+# -- format detection and entry points --------------------------------------------------
+
+
+def _open_binary(path: Path) -> IO[bytes]:
+    if path.suffix == ".gz":
+        return gzip.open(path, "rb")
+    return open(path, "rb")
+
+
+def _open_text(path: Path) -> IO[str]:
     if path.suffix == ".gz":
         return gzip.open(path, "rt", encoding="utf-8")
     return open(path, "r", encoding="utf-8")
 
 
-def read_trace(path: Union[str, Path]) -> Trace:
-    """Read a trace previously written with :func:`~repro.trace.writer.write_trace`."""
-    source = Path(path)
+def _detect_format(source: Path) -> str:
+    """``"columns"``, ``"jsonl"`` or a :class:`TraceError` for anything else."""
     if not source.exists():
         raise TraceError(f"trace file not found: {source}")
-    with _open_for_read(source) as stream:
-        header_line = stream.readline()
-        if not header_line:
-            raise TraceError(f"trace file is empty: {source}")
-        header = json.loads(header_line)
-        version = header.get("format_version")
-        if version != TRACE_FORMAT_VERSION:
-            raise TraceError(
-                f"unsupported trace format version {version!r} in {source} "
-                f"(expected {TRACE_FORMAT_VERSION})"
-            )
-        trace = Trace(
-            name=header.get("name", source.stem),
-            blocks_executed=int(header.get("blocks_executed", 0)),
-            metadata=dict(header.get("metadata", {})),
-        )
-        for line_number, line in enumerate(stream, start=2):
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                trace.append(record_from_json(json.loads(line)))
-            except (KeyError, ValueError) as exc:
+    with _open_binary(source) as stream:
+        lead = stream.read(len(TRACE_MAGIC))
+    if lead == TRACE_MAGIC:
+        return "columns"
+    if not lead:
+        raise TraceError(f"trace file is empty: {source}")
+    if lead.lstrip()[:1] == b"{":
+        return "jsonl"
+    raise TraceError(
+        f"unrecognized trace file {source}: bad magic {lead[:8]!r} "
+        f"(expected {TRACE_MAGIC!r} or a JSON-lines header)"
+    )
+
+
+def read_trace(path: Union[str, Path]) -> Trace:
+    """Read a trace previously written with :func:`~repro.trace.writer.write_trace`.
+
+    Both the native chunked-column format and the legacy JSON-lines format
+    are accepted; the result is always a columnar-backed
+    :class:`~repro.trace.record.Trace`.
+    """
+    source = Path(path)
+    if _detect_format(source) == "columns":
+        with _open_binary(source) as stream:
+            stream.read(len(TRACE_MAGIC))
+            return _read_columns(stream, source)
+    with _open_text(source) as stream:
+        return _read_legacy(stream, source)
+
+
+def iter_trace_records(path: Union[str, Path]) -> Iterator[DynamicInstruction]:
+    """Stream the dynamic records of a trace file, one view at a time.
+
+    Unlike :func:`read_trace` this never holds the whole trace in memory:
+    legacy files are decoded line by line, columnar files chunk by chunk.
+    Use it to scan archived traces that are too large to load.
+    """
+    source = Path(path)
+    if _detect_format(source) == "columns":
+        with _open_binary(source) as stream:
+            stream.read(len(TRACE_MAGIC))
+            header = _read_binary_header(stream, source)
+            instructions = _decode_instruction_table(header, source)
+            labels = [str(label) for label in header.get("block_labels", [])]
+            expected = int(header.get("records", 0))
+            loaded = 0
+            while loaded < expected:
+                count = _U32.unpack(
+                    _read_exact(stream, _U32.size, source, "chunk header")
+                )[0]
+                if count == 0 or loaded + count > expected:
+                    raise TraceError(
+                        f"corrupt trace chunk in {source}: chunk of {count} "
+                        f"records at record {loaded} of {expected}"
+                    )
+                blobs = {
+                    name: _int64_column(
+                        _read_exact(stream, count * 8, source, f"column {name!r}")
+                    )
+                    for name in INT64_COLUMNS
+                }
+                _read_exact(stream, count, source, "column 'kind'")
+                instruction_count = len(instructions)
+                label_count = len(labels)
+                for offset in range(count):
+                    address = blobs["addr"][offset]
+                    insn_index = blobs["insn"][offset]
+                    block_index = blobs["block"][offset]
+                    if not (
+                        0 <= insn_index < instruction_count
+                        and 0 <= block_index < label_count
+                    ):
+                        raise TraceError(
+                            f"corrupt trace {source}: record {loaded + offset} "
+                            f"references a missing table entry"
+                        )
+                    yield DynamicInstruction(
+                        instruction=instructions[insn_index],
+                        sequence=blobs["seq"][offset],
+                        block_label=labels[block_index],
+                        vector_length=blobs["vl"][offset],
+                        stride_elements=blobs["stride"][offset],
+                        base_address=None if address < 0 else address,
+                    )
+                loaded += count
+            if stream.read(1):
                 raise TraceError(
-                    f"malformed trace record at {source}:{line_number}: {exc}"
-                ) from exc
-    expected = header.get("records")
-    if expected is not None and expected != len(trace.records):
-        raise TraceError(
-            f"trace {source} declares {expected} records but contains {len(trace.records)}"
-        )
-    trace.validate()
-    return trace
+                    f"corrupt trace {source}: file contains more data than "
+                    f"the {expected} records its header declares"
+                )
+        return
+    with _open_text(source) as stream:
+        _read_legacy_header(stream, source)
+        yield from _iter_legacy_records(stream, source)
+
+
+__all__ = ["iter_trace_records", "read_trace", "record_from_json"]

@@ -4,16 +4,30 @@ A :class:`DynamicInstruction` is one executed instance of a static
 :class:`~repro.isa.instruction.Instruction`, annotated with everything the
 simulators need to reproduce its timing: the vector length and stride in
 effect, and the base address of memory references.
+
+Since the columnar refactor, :class:`Trace` no longer stores one
+:class:`DynamicInstruction` object per executed instruction: the canonical
+in-memory form is a :class:`~repro.trace.columns.ColumnarTrace` of parallel
+machine-typed arrays, and record objects are materialized views created on
+demand (iteration, indexing, the :attr:`Trace.records` property).  Code that
+consumes traces record-by-record keeps working unchanged; code that cares
+about throughput reads the columns directly.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional
 
 from repro.common.errors import TraceError
 from repro.isa.instruction import Instruction
 from repro.isa.registers import ELEMENT_SIZE_BYTES
+from repro.trace.columns import (
+    KIND_SCALAR_MEMORY,
+    KIND_VECTOR_COMPUTE,
+    KIND_VECTOR_MEMORY,
+    ColumnarTrace,
+)
 
 
 @dataclass(frozen=True)
@@ -125,42 +139,107 @@ class DynamicInstruction:
         return f"[{self.sequence}] {self.instruction}{suffix}"
 
 
-@dataclass
 class Trace:
-    """A full dynamic execution trace of one program."""
+    """A full dynamic execution trace of one program.
 
-    name: str
-    records: List[DynamicInstruction] = field(default_factory=list)
-    blocks_executed: int = 0
-    metadata: Dict[str, object] = field(default_factory=dict)
+    The dynamic stream lives in :attr:`columns`, a
+    :class:`~repro.trace.columns.ColumnarTrace`.  Iteration, indexing and the
+    :attr:`records` property materialize :class:`DynamicInstruction` views on
+    demand, so record-consuming code is unaffected by the storage change;
+    per-record appends are encoded straight into the columns.
+    """
+
+    __slots__ = ("name", "blocks_executed", "metadata", "columns")
+
+    def __init__(
+        self,
+        name: str,
+        records: Optional[Iterable[DynamicInstruction]] = None,
+        blocks_executed: int = 0,
+        metadata: Optional[Dict[str, object]] = None,
+        columns: Optional[ColumnarTrace] = None,
+    ) -> None:
+        self.name = name
+        self.blocks_executed = blocks_executed
+        self.metadata: Dict[str, object] = metadata if metadata is not None else {}
+        self.columns = columns if columns is not None else ColumnarTrace()
+        if records is not None:
+            for record in records:
+                self.append(record)
 
     def append(self, record: DynamicInstruction) -> None:
-        self.records.append(record)
+        """Encode one record view into the columns."""
+        self.columns.append(
+            record.instruction,
+            sequence=record.sequence,
+            block_label=record.block_label,
+            vector_length=record.vector_length,
+            stride_elements=record.stride_elements,
+            base_address=record.base_address,
+        )
+
+    @property
+    def records(self) -> List[DynamicInstruction]:
+        """A freshly materialized list of record views (not the storage).
+
+        Mutating the returned list does not alter the trace; use
+        :meth:`append` to grow it.  Hot paths should iterate
+        ``self.columns`` instead of calling this per pass.
+        """
+        return list(self.columns.iter_records())
 
     def __len__(self) -> int:
-        return len(self.records)
+        return len(self.columns)
 
     def __iter__(self) -> Iterator[DynamicInstruction]:
-        return iter(self.records)
+        return self.columns.iter_records()
 
     def __getitem__(self, index: int) -> DynamicInstruction:
-        return self.records[index]
+        return self.columns.record(index)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Trace):
+            return NotImplemented
+        if (
+            self.name != other.name
+            or self.blocks_executed != other.blocks_executed
+            or self.metadata != other.metadata
+            or len(self) != len(other)
+        ):
+            return False
+        # Record views are compared streaming, pairwise — never materialized
+        # as full lists — so equality of two large traces stays flat-memory
+        # and exits on the first difference.
+        return all(
+            mine == theirs
+            for mine, theirs in zip(
+                self.columns.iter_records(), other.columns.iter_records()
+            )
+        )
 
     @property
     def vector_instruction_count(self) -> int:
-        return sum(1 for record in self.records if record.is_vector)
+        kinds = self.columns.kind
+        return kinds.count(KIND_VECTOR_COMPUTE) + kinds.count(KIND_VECTOR_MEMORY)
 
     @property
     def scalar_instruction_count(self) -> int:
-        return sum(1 for record in self.records if not record.is_vector)
+        return len(self.columns) - self.vector_instruction_count
 
     @property
     def vector_operation_count(self) -> int:
-        return sum(record.operations for record in self.records if record.is_vector)
+        kinds = self.columns.kind
+        lengths = self.columns.vl
+        return sum(
+            lengths[index]
+            for index, kind in enumerate(kinds)
+            if kind == KIND_VECTOR_COMPUTE or kind == KIND_VECTOR_MEMORY
+        )
 
     @property
     def memory_instruction_count(self) -> int:
-        return sum(1 for record in self.records if record.is_memory)
+        kinds = self.columns.kind
+        return kinds.count(KIND_VECTOR_MEMORY) + kinds.count(KIND_SCALAR_MEMORY)
 
     def validate(self) -> None:
         """Check internal consistency of the trace.
@@ -168,9 +247,4 @@ class Trace:
         Raises :class:`~repro.common.errors.TraceError` when sequence numbers
         are not strictly increasing from zero.
         """
-        for expected, record in enumerate(self.records):
-            if record.sequence != expected:
-                raise TraceError(
-                    f"trace {self.name!r}: record {expected} carries sequence "
-                    f"number {record.sequence}"
-                )
+        self.columns.validate(self.name)

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.common.stats import Histogram
+from repro.isa.registers import ELEMENT_SIZE_BYTES
 from repro.trace.record import Trace
 
 
@@ -82,22 +83,59 @@ class TraceStatistics:
 
 
 def compute_statistics(trace: Trace) -> TraceStatistics:
-    """Compute :class:`TraceStatistics` for a trace."""
+    """Compute :class:`TraceStatistics` in one pass over the trace columns.
+
+    The loop reads the instruction-table index and vector-length columns with
+    per-field locals and takes every static fact (vector? memory? spill?)
+    from the precomputed
+    :class:`~repro.trace.columns.InstructionInfo` table — no record objects
+    are materialized.
+    """
     stats = TraceStatistics(name=trace.name, basic_blocks=trace.blocks_executed)
-    for record in trace.records:
-        if record.is_vector:
-            stats.vector_instructions += 1
-            stats.vector_operations += record.operations
-            stats.vector_length_histogram.add(record.vector_length)
+    columns = trace.columns
+    infos = columns.instruction_infos()
+    insn = columns.insn
+    lengths = columns.vl
+    histogram_counts: dict[int, int] = {}
+
+    vector_instructions = 0
+    vector_operations = 0
+    scalar_instructions = 0
+    scalar_memory = 0
+    vector_memory = 0
+    vector_memory_operations = 0
+    spill_memory = 0
+    memory_elements = 0
+
+    for index in range(len(insn)):
+        info = infos[insn[index]]
+        if info.is_vector:
+            length = lengths[index]
+            vector_instructions += 1
+            vector_operations += length
+            histogram_counts[length] = histogram_counts.get(length, 0) + 1
+            if info.is_memory:
+                memory_elements += length
+                vector_memory += 1
+                vector_memory_operations += length
+                if info.is_spill:
+                    spill_memory += 1
         else:
-            stats.scalar_instructions += 1
-        if record.is_memory:
-            stats.memory_bytes += record.bytes_accessed
-            if record.is_vector_memory:
-                stats.vector_memory_instructions += 1
-                stats.vector_memory_operations += record.operations
-            else:
-                stats.scalar_memory_instructions += 1
-            if record.is_spill_access:
-                stats.spill_memory_instructions += 1
+            scalar_instructions += 1
+            if info.is_memory:
+                memory_elements += 1
+                scalar_memory += 1
+                if info.is_spill:
+                    spill_memory += 1
+
+    stats.vector_instructions = vector_instructions
+    stats.vector_operations = vector_operations
+    stats.scalar_instructions = scalar_instructions
+    stats.scalar_memory_instructions = scalar_memory
+    stats.vector_memory_instructions = vector_memory
+    stats.vector_memory_operations = vector_memory_operations
+    stats.spill_memory_instructions = spill_memory
+    stats.memory_bytes = memory_elements * ELEMENT_SIZE_BYTES
+    for length, count in histogram_counts.items():
+        stats.vector_length_histogram.add(length, count)
     return stats

@@ -1,26 +1,50 @@
-"""Serialization of dynamic traces to JSON-lines files.
+"""Serialization of dynamic traces.
 
-Traces are written as one JSON object per line, with a single header line
-carrying trace-level metadata.  Gzip compression is applied automatically when
-the target path ends in ``.gz``.  The format is deliberately self-contained so
-traces can be archived and replayed later without the workload models that
-produced them, just as the paper archives Dixie traces separately from the
-Perfect Club sources.
+The native format is *chunked binary columns* (format version 2): one small
+JSON header carrying the trace metadata, the unique static-instruction table
+and the basic-block label table, followed by fixed-size chunks of the dynamic
+columns as raw little-endian ``int64`` blobs plus one opcode-class byte per
+record.  Writing streams straight out of the in-memory
+:class:`~repro.trace.columns.ColumnarTrace`, so a trace is never expanded
+into per-record objects on its way to disk.  Gzip compression is applied
+automatically when the target path ends in ``.gz``.
+
+The original JSON-lines record format (version 1) can still be written with
+``write_trace(trace, path, format="jsonl")`` for interoperability with tools
+that expect one JSON object per dynamic instruction; the reader accepts both
+formats transparently.
 """
 
 from __future__ import annotations
 
 import gzip
 import json
+import struct
+import sys
 from pathlib import Path
 from typing import IO, Union
 
+from repro.common.errors import TraceError
 from repro.isa.instruction import Instruction
 from repro.isa.registers import Register
 from repro.trace.record import DynamicInstruction, Trace
 
-#: Version tag written into every trace header.
-TRACE_FORMAT_VERSION = 1
+#: Version tag of the native chunked-column format.
+TRACE_FORMAT_VERSION = 2
+
+#: Version tag of the legacy JSON-lines record format.
+LEGACY_TRACE_FORMAT_VERSION = 1
+
+#: Leading magic bytes of a chunked-column trace file.
+TRACE_MAGIC = b"REPROTRC"
+
+#: Dynamic records per chunk in the columnar format.
+CHUNK_RECORDS = 65536
+
+#: The int64 columns of one chunk, in on-disk order.
+INT64_COLUMNS = ("insn", "seq", "vl", "stride", "addr", "block")
+
+_U32 = struct.Struct("<I")
 
 
 def _register_to_json(register: Register) -> list:
@@ -61,30 +85,6 @@ def record_to_json(record: DynamicInstruction) -> dict:
     return payload
 
 
-def _open_for_write(path: Path) -> IO[str]:
-    if path.suffix == ".gz":
-        return gzip.open(path, "wt", encoding="utf-8")
-    return open(path, "w", encoding="utf-8")
-
-
-def write_trace(trace: Trace, path: Union[str, Path]) -> Path:
-    """Write ``trace`` to ``path`` in JSON-lines format and return the path."""
-    target = Path(path)
-    target.parent.mkdir(parents=True, exist_ok=True)
-    header = {
-        "format_version": TRACE_FORMAT_VERSION,
-        "name": trace.name,
-        "blocks_executed": trace.blocks_executed,
-        "records": len(trace.records),
-        "metadata": _jsonable_metadata(trace.metadata),
-    }
-    with _open_for_write(target) as stream:
-        stream.write(json.dumps(header) + "\n")
-        for record in trace.records:
-            stream.write(json.dumps(record_to_json(record)) + "\n")
-    return target
-
-
 def _jsonable_metadata(metadata: dict) -> dict:
     """Keep only JSON-serializable metadata entries."""
     cleaned = {}
@@ -95,3 +95,92 @@ def _jsonable_metadata(metadata: dict) -> dict:
             continue
         cleaned[key] = value
     return cleaned
+
+
+# -- chunked binary columns (native format) --------------------------------------------
+
+
+def _column_blob(column, start: int, stop: int) -> bytes:
+    """The raw little-endian bytes of one int64 column slice."""
+    piece = column[start:stop]
+    if sys.byteorder != "little":  # pragma: no cover - big-endian hosts only
+        piece = piece[:]
+        piece.byteswap()
+    return piece.tobytes()
+
+
+def _write_columns(trace: Trace, stream: IO[bytes]) -> None:
+    columns = trace.columns
+    header = {
+        "format_version": TRACE_FORMAT_VERSION,
+        "name": trace.name,
+        "blocks_executed": trace.blocks_executed,
+        "records": len(columns),
+        "chunk_records": CHUNK_RECORDS,
+        "metadata": _jsonable_metadata(trace.metadata),
+        "instructions": [
+            _instruction_to_json(instruction) for instruction in columns.instructions
+        ],
+        "block_labels": list(columns.block_labels),
+    }
+    header_bytes = json.dumps(header).encode("utf-8")
+    stream.write(TRACE_MAGIC)
+    stream.write(_U32.pack(len(header_bytes)))
+    stream.write(header_bytes)
+
+    total = len(columns)
+    for start in range(0, total, CHUNK_RECORDS):
+        stop = min(start + CHUNK_RECORDS, total)
+        stream.write(_U32.pack(stop - start))
+        for name in INT64_COLUMNS:
+            stream.write(_column_blob(getattr(columns, name), start, stop))
+        stream.write(bytes(columns.kind[start:stop]))
+
+
+# -- legacy JSON lines ------------------------------------------------------------------
+
+
+def _write_jsonl(trace: Trace, stream: IO[str]) -> None:
+    header = {
+        "format_version": LEGACY_TRACE_FORMAT_VERSION,
+        "name": trace.name,
+        "blocks_executed": trace.blocks_executed,
+        "records": len(trace),
+        "metadata": _jsonable_metadata(trace.metadata),
+    }
+    stream.write(json.dumps(header) + "\n")
+    for record in trace:
+        stream.write(json.dumps(record_to_json(record)) + "\n")
+
+
+# -- entry point ------------------------------------------------------------------------
+
+
+def write_trace(
+    trace: Trace, path: Union[str, Path], format: str = "columns"
+) -> Path:
+    """Write ``trace`` to ``path`` and return the path.
+
+    ``format="columns"`` (the default) writes the chunked binary column
+    format; ``format="jsonl"`` writes the legacy version-1 JSON-lines record
+    stream.  Either way a ``.gz`` suffix gzips the output.
+    """
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    gzipped = target.suffix == ".gz"
+    if format == "columns":
+        with (gzip.open(target, "wb") if gzipped else open(target, "wb")) as stream:
+            _write_columns(trace, stream)
+    elif format == "jsonl":
+        opener = (
+            gzip.open(target, "wt", encoding="utf-8")
+            if gzipped
+            else open(target, "w", encoding="utf-8")
+        )
+        with opener as stream:
+            _write_jsonl(trace, stream)
+    else:
+        raise TraceError(
+            f"unknown trace format {format!r} (expected 'columns' or 'jsonl')"
+        )
+    return target

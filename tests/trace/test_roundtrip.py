@@ -75,9 +75,15 @@ class TestTraceRoundtrip:
         with pytest.raises(TraceError):
             read_trace(path)
 
+    def test_legacy_roundtrip(self, tmp_path):
+        original = _make_trace()
+        path = write_trace(original, tmp_path / "trace.jsonl", format="jsonl")
+        restored = read_trace(path)
+        self._assert_equivalent(original, restored)
+
     def test_record_count_mismatch_rejected(self, tmp_path):
         original = _make_trace()
-        path = write_trace(original, tmp_path / "trace.jsonl")
+        path = write_trace(original, tmp_path / "trace.jsonl", format="jsonl")
         lines = path.read_text().splitlines()
         path.write_text("\n".join(lines[:-1]) + "\n")
         with pytest.raises(TraceError):
@@ -85,7 +91,7 @@ class TestTraceRoundtrip:
 
     def test_malformed_record_rejected(self, tmp_path):
         original = _make_trace()
-        path = write_trace(original, tmp_path / "trace.jsonl")
+        path = write_trace(original, tmp_path / "trace.jsonl", format="jsonl")
         lines = path.read_text().splitlines()
         lines[1] = '{"seq": 0}'
         path.write_text("\n".join(lines) + "\n")
