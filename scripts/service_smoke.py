@@ -1,0 +1,122 @@
+#!/usr/bin/env python
+"""Smoke-test a live ``repro serve`` instance end to end (run in CI).
+
+Starts the server as a subprocess on an ephemeral port with a temporary
+store, then drives the whole service loop with stdlib ``urllib``:
+
+1. ``GET /v1/healthz`` answers ok;
+2. a small cold sweep runs to completion (every cell simulated);
+3. the *identical* sweep re-submitted is answered entirely from the store
+   (0 simulated, no batch dispatched) — the warm path, over the wire;
+4. ``GET /v1/stats`` reflects both: store entries plus service counters.
+
+Exits non-zero (with the failing detail on stderr) on any violation, so a
+CI step is just ``python scripts/service_smoke.py``.
+"""
+
+import json
+import re
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.request
+
+SWEEP = {
+    "programs": "dyfesm,trfd",
+    "latencies": [1, 50],
+    "architectures": "ref,dva",
+    "scale": 0.2,
+}
+CELLS = 2 * 2 * 2
+
+
+def api(base, path, body=None):
+    data = None if body is None else json.dumps(body).encode()
+    request = urllib.request.Request(base + path, data=data)
+    with urllib.request.urlopen(request, timeout=60) as response:
+        return json.load(response)
+
+
+def poll(base, sweep_id, timeout=120.0):
+    deadline = time.monotonic() + timeout
+    while True:
+        payload = api(base, f"/v1/sweeps/{sweep_id}")
+        if payload["state"] != "running":
+            return payload
+        if time.monotonic() > deadline:
+            raise SystemExit(f"sweep {sweep_id} never settled: {payload}")
+        time.sleep(0.25)
+
+
+def check(condition, what, context):
+    if not condition:
+        raise SystemExit(f"FAIL: {what}\n  context: {json.dumps(context, indent=2)}")
+    print(f"ok: {what}")
+
+
+def main():
+    with tempfile.TemporaryDirectory(prefix="repro-smoke-") as store_dir:
+        server = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--port", "0", "--store-dir", store_dir, "--jobs", "2",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        try:
+            # The server announces its bound address on the first line.
+            line = server.stdout.readline()
+            match = re.search(r"http://([\d.]+):(\d+)", line)
+            if not match:
+                raise SystemExit(f"no address announcement, got: {line!r}")
+            base = f"http://{match.group(1)}:{match.group(2)}"
+            print(f"server up at {base} (store: {store_dir})")
+
+            health = api(base, "/v1/healthz")
+            check(health["status"] == "ok", "healthz answers ok", health)
+
+            submitted = api(base, "/v1/sweeps", SWEEP)
+            cold = poll(base, submitted["sweep"])
+            check(cold["state"] == "done", "cold sweep completes", cold)
+            check(
+                cold["done"] == CELLS and cold["simulated"] == CELLS,
+                f"cold sweep simulates all {CELLS} cells",
+                {k: cold[k] for k in ("done", "total", "cached", "simulated")},
+            )
+
+            resubmitted = api(base, "/v1/sweeps", SWEEP)
+            warm = poll(base, resubmitted["sweep"])
+            check(
+                warm["state"] == "done" and warm["simulated"] == 0
+                and warm["cached"] == CELLS,
+                "identical re-submission is all cache hits, 0 simulated",
+                {k: warm[k] for k in ("done", "total", "cached", "simulated")},
+            )
+            cycles = lambda payload: sorted(  # noqa: E731
+                result["total_cycles"] for result in payload["results"]
+            )
+            check(cycles(warm) == cycles(cold), "warm results equal cold results", {})
+
+            stats = api(base, "/v1/stats")
+            scheduler = stats["service"]["scheduler"]
+            check(stats["entry_count"] == CELLS, f"store holds {CELLS} entries", stats)
+            check(
+                scheduler["simulated"] == CELLS and scheduler["store_hits"] >= CELLS,
+                "scheduler counters agree: one simulation per cell, warm from store",
+                scheduler,
+            )
+            print("service smoke: all checks passed")
+        finally:
+            server.terminate()
+            try:
+                server.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                server.kill()
+                server.wait()
+
+
+if __name__ == "__main__":
+    main()

@@ -22,6 +22,10 @@ contribution:
   makes sweeps incremental and resumable: completed cells are cached under
   ``~/.cache/repro`` keyed on their full input description and never
   re-simulated.
+* :mod:`repro.service` — the sweep service behind ``repro serve``: an
+  asyncio HTTP daemon over the store that answers warm cells in
+  microseconds, deduplicates identical in-flight cells across concurrent
+  clients, and streams per-cell sweep progress as server-sent events.
 
 The :mod:`repro.core` facade is re-exported here, so most callers only need::
 
@@ -47,7 +51,7 @@ from repro.core import (
     simulate,
 )
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "Experiment",

@@ -37,6 +37,7 @@ from repro.core.experiment import (
     SweepResult,
     SweepSpec,
     TraceCache,
+    resolve_sweep_machines,
     run_sweep,
 )
 from repro.core.machine import PRESETS, FieldInfo, MachineSpec, Preset
@@ -83,6 +84,7 @@ __all__ = [
     "machine_spec",
     "register_architecture",
     "resolve_architecture",
+    "resolve_sweep_machines",
     "run_sweep",
     "simulate",
     "unregister_architecture",

@@ -19,6 +19,10 @@ Six subcommands drive the experiment API end to end:
   Figure 6 and Section 7 artifacts as CSV files (also store-backed).
 * ``cache`` — inspect and manage the result store: ``stats``, ``gc``
   (eviction by age and/or size), ``clear``.
+* ``serve`` — run the long-lived sweep service: an asyncio HTTP daemon whose
+  JSON API answers warm cells from the store in microseconds, deduplicates
+  identical in-flight cells across clients, and streams per-cell progress
+  (see :mod:`repro.service`).
 """
 
 from __future__ import annotations
@@ -234,6 +238,27 @@ def build_parser() -> argparse.ArgumentParser:
         "--store-dir", default=None, help=_STORE_DIR_HELP
     )
     clear_parser.set_defaults(handler=_cmd_cache_clear)
+
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="run the sweep service: an HTTP JSON API over the result store "
+        "(warm cells answer from the store, concurrent identical requests "
+        "share one simulation, progress streams as server-sent events)",
+    )
+    serve_parser.add_argument(
+        "--host", default="127.0.0.1", help="interface to bind"
+    )
+    serve_parser.add_argument(
+        "--port", type=int, default=8023, help="TCP port to bind (0 = ephemeral)"
+    )
+    serve_parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for cold cells (1 = simulate in-process)",
+    )
+    serve_parser.add_argument(
+        "--store-dir", default=None, help=_STORE_DIR_HELP
+    )
+    serve_parser.set_defaults(handler=_cmd_serve)
 
     return parser
 
@@ -486,4 +511,21 @@ def _cmd_cache_clear(args: argparse.Namespace) -> int:
     store = _cache_store(args)
     removed = store.clear()
     print(f"cleared {removed} entries from {store.root}")
+    return 0
+
+
+# -- the sweep service -----------------------------------------------------------------
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    # Imported here so the (asyncio-heavy) service layer is only paid for by
+    # the one subcommand that needs it.
+    from repro.service import serve
+
+    serve(
+        host=args.host,
+        port=args.port,
+        store=args.store_dir,
+        jobs=args.jobs,
+    )
     return 0

@@ -44,6 +44,7 @@ import multiprocessing
 import multiprocessing.pool
 import os
 import sys
+import threading
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import (
@@ -299,6 +300,34 @@ class SweepSpec:
         return cells
 
 
+def resolve_sweep_machines(spec: SweepSpec) -> List[Simulator]:
+    """Resolve every (axis-combo × architecture) of ``spec`` into simulators.
+
+    Unknown architectures, non-spec-backed machines under an axis sweep, and
+    distinct grid cells that collapse onto the same machine label all fail
+    here, before any simulation: the :class:`Runner` calls this up front,
+    and the sweep service calls it at request admission so a bad sweep is
+    rejected with a clean error instead of dying mid-run.  The returned
+    simulators are axis-combo-major, matching the pair order of
+    :meth:`SweepSpec.cells`.
+    """
+    machines: List[Simulator] = []
+    seen_labels: Dict[str, Tuple[str, Overrides]] = {}
+    for combo in spec.axis_combinations():
+        for arch in spec.architectures:
+            simulator = resolve_architecture(arch, combo)
+            previous = seen_labels.get(simulator.name)
+            if previous is not None:
+                raise ConfigurationError(
+                    f"sweep cells {previous!r} and {(arch, combo)!r} both "
+                    f"resolve to machine {simulator.name!r}; every cell "
+                    "must be a distinct machine"
+                )
+            seen_labels[simulator.name] = (arch, combo)
+            machines.append(simulator)
+    return machines
+
+
 class TraceCache:
     """Builds each (program, scale) trace at most once.
 
@@ -480,6 +509,11 @@ class Runner:
         self.store = store
         self.trace_cache = TraceCache()
         self._pool: Optional[multiprocessing.pool.Pool] = None
+        # The sweep service calls run_batch from several executor threads at
+        # once; pool creation and first-touch trace builds are the two
+        # critical sections (the pool's own methods are thread-safe).
+        self._pool_lock = threading.Lock()
+        self._trace_lock = threading.Lock()
 
     @property
     def effective_jobs(self) -> int:
@@ -516,20 +550,7 @@ class Runner:
         # machine all fail before any simulation.  Workers receive the
         # resolved simulator objects themselves (plain frozen dataclasses, so
         # they pickle), not registry names.
-        machines: List[Simulator] = []
-        seen_labels: Dict[str, Tuple[str, Overrides]] = {}
-        for combo in spec.axis_combinations():
-            for arch in spec.architectures:
-                simulator = resolve_architecture(arch, combo)
-                previous = seen_labels.get(simulator.name)
-                if previous is not None:
-                    raise ConfigurationError(
-                        f"sweep cells {previous!r} and {(arch, combo)!r} both "
-                        f"resolve to machine {simulator.name!r}; every cell "
-                        "must be a distinct machine"
-                    )
-                seen_labels[simulator.name] = (arch, combo)
-                machines.append(simulator)
+        machines = resolve_sweep_machines(spec)
         pairs = [
             (latency, simulator)
             for latency in spec.latencies
@@ -672,25 +693,58 @@ class Runner:
             cursor += batch_count
         return per_program
 
+    def run_batch(
+        self,
+        program: str,
+        scale: float,
+        tasks: Sequence[CellTask],
+        config: RunConfig,
+    ) -> List[RunResult]:
+        """Execute one batch of a single program's cells, off the grid path.
+
+        This is the dispatch surface the sweep service's scheduler uses for
+        cold cells: with more than one effective job the batch is applied to
+        the persistent worker pool (safe from several threads at once — the
+        pool serializes its task queue internally), otherwise it is
+        simulated in the calling thread against the runner's trace cache.
+        Store write-back matches the sweep path — per cell, in the process
+        that simulated it; merging the advisory index is the caller's job,
+        as it is for :meth:`run`.
+        """
+        tasks = tuple(tasks)
+        if not tasks:
+            return []
+        if self.effective_jobs > 1:
+            store_root = str(self.store.root) if self.store is not None else None
+            pool = self._ensure_pool()
+            return pool.apply(
+                _run_program_cells, ((program, scale, tasks, config, store_root),)
+            )
+        with self._trace_lock:
+            trace = self.trace_cache.get(program, scale)
+        return _run_cells(trace, tasks, config, self.store, scale)
+
     def _ensure_pool(self) -> multiprocessing.pool.Pool:
-        """The persistent worker pool, created on first use.
+        """The persistent worker pool, created on first use (thread-safe).
 
         Traces the parent has already built (e.g. by an earlier serial run of
         this runner) are exposed to fork-started workers copy-on-write; every
         other trace is built lazily, once per worker that needs it, so a cold
         multi-program sweep builds its traces in parallel across workers.
         """
-        if self._pool is None:
-            _WORKER_CACHE.seed(self.trace_cache.entries())
-            try:
-                self._pool = _pool_context().Pool(
-                    processes=self.effective_jobs, initializer=_worker_init
-                )
-            finally:
-                # The parent-side copies have served their purpose (the pool
-                # has forked); worker-side caches live in the workers.
-                _WORKER_CACHE.clear()
-        return self._pool
+        with self._pool_lock:
+            if self._pool is None:
+                _WORKER_CACHE.seed(self.trace_cache.entries())
+                try:
+                    self._pool = _pool_context().Pool(
+                        processes=self.effective_jobs, initializer=_worker_init
+                    )
+                finally:
+                    # The parent-side copies have served their purpose (the
+                    # pool has forked); worker-side caches live in the
+                    # workers.
+                    _WORKER_CACHE.clear()
+            return self._pool
 
     def close(self) -> None:
         """Release the worker pool (idempotent; the runner stays usable)."""

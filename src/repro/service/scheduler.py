@@ -1,0 +1,254 @@
+"""The single-flight cell scheduler behind the sweep service.
+
+Every request the service receives decomposes into *cells* — (program,
+scale, latency, machine) points with a content-addressed identity
+(:func:`~repro.store.cell_key`).  The scheduler is the one place a cell
+becomes a result, and it enforces the three service invariants:
+
+* **store hits never touch the worker path.**  A cell already in the
+  :class:`~repro.store.ResultStore` is answered synchronously on the event
+  loop — one small file read, no trace build, no executor hop, no pool
+  dispatch — so a fully-warm sweep costs microseconds per cell.
+* **in-flight cells are deduplicated.**  Two concurrent requests for the
+  same ``cell_key`` share one simulation: the first registers a future under
+  the key, later arrivals await that same future
+  (:attr:`CellScheduler.inflight_joins` counts them).  Waiters await through
+  :func:`asyncio.shield`, so a client that disconnects — cancelling its
+  request task — can never cancel the shared simulation out from under the
+  other waiters.
+* **cold cells are batched.**  A cache-missing cell does not dispatch
+  immediately: the scheduler gathers everything that arrives within
+  :attr:`CellScheduler.batch_window` seconds (a sweep submission lands its
+  whole grid in one window), groups it by (program, scale, config) so each
+  batch shares one trace, and hands each group to
+  :meth:`~repro.core.experiment.Runner.run_batch` on a thread-pool executor
+  — in-process simulation for one job, the runner's multiprocessing pool
+  when the service was started with more.
+
+Simulation results are written back to the store per cell by the runner
+(exactly as CLI sweeps do), and each completed batch merges its cells into
+the store's advisory index under the index lock, so any number of
+concurrent batches — or concurrent services — keep the index consistent.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.config import RunConfig
+from repro.core.experiment import CellTask, Runner
+from repro.core.registry import Simulator
+from repro.core.result import RunResult
+from repro.store import ResultStore, cell_key
+
+
+@dataclass
+class _PendingCell:
+    """One cold cell waiting for the current batch window to close."""
+
+    program: str
+    scale: float
+    latency: int
+    simulator: Simulator
+    key: Optional[str]
+    config: RunConfig
+    future: "asyncio.Future[RunResult]"
+
+
+class CellScheduler:
+    """Turns cell requests into results: store-first, deduplicated, batched.
+
+    Args:
+        store: the result store answering warm cells and persisting cold
+            ones; ``None`` runs store-less (every cell simulates — useful
+            only for tests).
+        jobs: worker ceiling handed to the underlying
+            :class:`~repro.core.experiment.Runner`; with ``jobs > 1`` cold
+            batches go to its multiprocessing pool.
+        batch_window: seconds to gather cold cells before dispatching, so a
+            burst of concurrent requests coalesces into per-program batches.
+            ``0`` still batches everything that arrived in the same event
+            loop iteration (the callback fires on the next one).
+        runner: inject a pre-configured runner (tests); defaults to
+            ``Runner(jobs=jobs, store=store)``.
+    """
+
+    def __init__(
+        self,
+        store: Optional[ResultStore] = None,
+        jobs: int = 1,
+        batch_window: float = 0.010,
+        runner: Optional[Runner] = None,
+    ) -> None:
+        self.store = store
+        self.batch_window = batch_window
+        self.runner = runner if runner is not None else Runner(jobs=jobs, store=store)
+        # Executor threads mostly sleep in pool.apply / file writes; one per
+        # job plus one keeps the pool busy without unbounded thread growth.
+        self._executor = ThreadPoolExecutor(
+            max_workers=max(2, self.runner.effective_jobs + 1),
+            thread_name_prefix="repro-batch",
+        )
+        self._inflight: Dict[str, asyncio.Future] = {}
+        self._pending: List[_PendingCell] = []
+        self._flush_handle: Optional[asyncio.TimerHandle] = None
+        self._batch_tasks: "set[asyncio.Task]" = set()
+        self._closed = False
+        # Counters surfaced by /v1/stats.
+        self.cells_requested = 0
+        self.store_hits = 0
+        self.inflight_joins = 0
+        self.simulated = 0
+        self.batches_dispatched = 0
+        self.uncacheable = 0
+
+    # -- the public entry point --------------------------------------------------------
+
+    async def run_cell(
+        self,
+        program: str,
+        latency: int,
+        simulator: Simulator,
+        scale: float = 1.0,
+        config: Optional[RunConfig] = None,
+    ) -> RunResult:
+        """One cell's result: from the store, a shared in-flight simulation,
+        or a freshly dispatched batch — in that order of preference.
+
+        Everything from the in-flight check to future registration runs
+        synchronously on the event loop, so two coroutines can never both
+        miss the registry and dispatch the same cell twice.
+        """
+        if self._closed:
+            raise RuntimeError("scheduler is closed")
+        config = config if config is not None else RunConfig()
+        self.cells_requested += 1
+        key = cell_key(program, scale, latency, simulator, config)
+        if key is None:
+            self.uncacheable += 1
+        else:
+            shared = self._inflight.get(key)
+            if shared is not None:
+                self.inflight_joins += 1
+                return await asyncio.shield(shared)
+            if self.store is not None:
+                found = self.store.get(key)
+                if found is not None:
+                    self.store_hits += 1
+                    return found
+
+        loop = asyncio.get_running_loop()
+        future: "asyncio.Future[RunResult]" = loop.create_future()
+        if key is not None:
+            self._inflight[key] = future
+            future.add_done_callback(lambda _done, _key=key: self._inflight.pop(_key, None))
+        self._pending.append(
+            _PendingCell(program, scale, latency, simulator, key, config, future)
+        )
+        self._schedule_flush(loop)
+        return await asyncio.shield(future)
+
+    # -- batching ----------------------------------------------------------------------
+
+    def _schedule_flush(self, loop: asyncio.AbstractEventLoop) -> None:
+        if self._flush_handle is None:
+            self._flush_handle = loop.call_later(self.batch_window, self._flush)
+
+    def _flush(self) -> None:
+        """Close the batch window: group pending cells and dispatch each group."""
+        self._flush_handle = None
+        pending, self._pending = self._pending, []
+        if not pending:
+            return
+        groups: Dict[Tuple[str, float, RunConfig], List[_PendingCell]] = {}
+        for cell in pending:
+            groups.setdefault((cell.program, cell.scale, cell.config), []).append(cell)
+        for (program, scale, config), cells in groups.items():
+            task = asyncio.ensure_future(self._run_batch(program, scale, config, cells))
+            self._batch_tasks.add(task)
+            task.add_done_callback(self._batch_tasks.discard)
+
+    async def _run_batch(
+        self,
+        program: str,
+        scale: float,
+        config: RunConfig,
+        cells: Sequence[_PendingCell],
+    ) -> None:
+        """Simulate one per-program batch off-loop and resolve its futures."""
+        loop = asyncio.get_running_loop()
+        tasks: List[CellTask] = [(cell.latency, cell.simulator, cell.key) for cell in cells]
+        self.batches_dispatched += 1
+        try:
+            results = await loop.run_in_executor(
+                self._executor, self.runner.run_batch, program, scale, tasks, config
+            )
+        except Exception as exc:
+            for cell in cells:
+                if not cell.future.done():
+                    cell.future.set_exception(exc)
+            return
+        self.simulated += len(results)
+        for cell, result in zip(cells, results):
+            if not cell.future.done():
+                cell.future.set_result(result)
+        if self.store is not None:
+            written = [
+                (result.store_key, result)
+                for result in results
+                if result.store_key is not None and not result.cached
+            ]
+            if written:
+                await loop.run_in_executor(
+                    self._executor, lambda: self.store.update_index(written, scale=scale)
+                )
+
+    # -- introspection and lifecycle ---------------------------------------------------
+
+    @property
+    def inflight_count(self) -> int:
+        """Cells currently being simulated (or queued for the next batch)."""
+        return len(self._inflight)
+
+    def counters(self) -> Dict[str, int]:
+        """The scheduler's traffic counters, for ``/v1/stats``."""
+        return {
+            "cells_requested": self.cells_requested,
+            "store_hits": self.store_hits,
+            "inflight_joins": self.inflight_joins,
+            "simulated": self.simulated,
+            "batches_dispatched": self.batches_dispatched,
+            "uncacheable": self.uncacheable,
+            "inflight_now": self.inflight_count,
+        }
+
+    async def drain(self) -> None:
+        """Wait for every queued and in-flight batch to finish (tests, shutdown)."""
+        while self._pending or self._flush_handle is not None or self._batch_tasks:
+            if self._flush_handle is not None:
+                self._flush_handle.cancel()
+                self._flush_handle = None
+                self._flush()
+            if self._batch_tasks:
+                await asyncio.gather(*list(self._batch_tasks), return_exceptions=True)
+            else:
+                await asyncio.sleep(0)
+
+    def close(self) -> None:
+        """Stop accepting cells and release the executor and worker pool."""
+        self._closed = True
+        if self._flush_handle is not None:
+            self._flush_handle.cancel()
+            self._flush_handle = None
+        for cell in self._pending:
+            if not cell.future.done():
+                cell.future.set_exception(RuntimeError("scheduler closed"))
+        self._pending = []
+        self._executor.shutdown(wait=False)
+        self.runner.close()
+
+
+__all__ = ["CellScheduler"]

@@ -1,0 +1,388 @@
+"""The sweep service: an asyncio HTTP daemon over the result store.
+
+``repro serve`` starts a :class:`ReproService` — the step from CLI tool to
+long-running system.  Many concurrent clients submit runs and sweeps; the
+service answers warm cells straight from the
+:class:`~repro.store.ResultStore` in microseconds, deduplicates identical
+in-flight cells across clients (single-flight, see
+:class:`~repro.service.scheduler.CellScheduler`), batches cold cells onto
+the multiprocessing runner, and streams per-cell progress as server-sent
+events.
+
+The JSON API (all under ``/v1``):
+
+========  ======================  =================================================
+method    path                    behaviour
+========  ======================  =================================================
+POST      ``/v1/run``             simulate (or fetch) one cell; blocks until done
+POST      ``/v1/sweeps``          submit a sweep grid; ``202`` + sweep id at once
+GET       ``/v1/sweeps``          list known sweeps (id, state, progress)
+GET       ``/v1/sweeps/{id}``     status + counts (+ full results when done)
+GET       ``/v1/sweeps/{id}/events``  SSE stream: one event per finished cell
+GET       ``/v1/healthz``         liveness + uptime
+GET       ``/v1/stats``           the ``repro cache stats --json`` payload + service counters
+========  ======================  =================================================
+
+Sweeps execute as *background tasks*: submission validates the whole grid
+(unknown programs, bad architectures, duplicate cells → ``400`` immediately),
+then every cell is fanned out to the scheduler concurrently.  Clients watch
+via polling or the event stream; a client disconnecting mid-stream
+disconnects the *stream*, never the sweep.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+import secrets
+import time
+from pathlib import Path
+from typing import AsyncIterator, Dict, List, Optional, Union
+
+from repro import __version__
+from repro.core.config import RunConfig
+from repro.core.experiment import (
+    CellProgress,
+    SweepResult,
+    SweepSpec,
+    _ProgressTracker,
+    resolve_sweep_machines,
+)
+from repro.core.registry import Simulator, resolve_architecture
+from repro.core.result import RunResult
+from repro.service.http import (
+    EventStream,
+    HttpError,
+    Request,
+    Response,
+    Router,
+    json_response,
+    serve_connection,
+)
+from repro.service.protocol import (
+    parse_run_request,
+    parse_sweep_request,
+    progress_payload,
+    result_payload,
+    sweep_spec_payload,
+)
+from repro.service.scheduler import CellScheduler
+from repro.store import ResultStore
+from repro.workloads.perfect_club import load_program
+
+
+class SweepJob:
+    """One submitted sweep: its spec, background task, and event history.
+
+    Progress events accumulate in :attr:`events` (every stream replays the
+    full history first, so a late subscriber misses nothing).  Waiters park
+    on the current wake-up event; :meth:`_notify` swaps in a fresh one and
+    sets the old, which wakes *every* parked stream without the clear/set
+    races a shared :class:`asyncio.Event` would invite.
+    """
+
+    def __init__(self, job_id: str, spec: SweepSpec) -> None:
+        self.id = job_id
+        self.spec = spec
+        self.state = "running"  # running | done | failed
+        self.error: Optional[str] = None
+        self.created_unix = time.time()
+        self.finished_unix: Optional[float] = None
+        self.events: List[Dict[str, object]] = []
+        self.result: Optional[SweepResult] = None
+        self.cached_count = 0
+        self.simulated_count = 0
+        self.task: Optional[asyncio.Task] = None
+        self._wakeup: asyncio.Event = asyncio.Event()
+
+    @property
+    def total(self) -> int:
+        return len(self.spec)
+
+    @property
+    def done(self) -> int:
+        return len(self.events)
+
+    def _notify(self) -> None:
+        wakeup, self._wakeup = self._wakeup, asyncio.Event()
+        wakeup.set()
+
+    def record(self, event: CellProgress) -> None:
+        """Append one cell's progress event and wake every stream."""
+        self.cached_count = event.cached
+        self.simulated_count = event.simulated
+        self.events.append(progress_payload(event))
+        self._notify()
+
+    def finish(self, result: SweepResult) -> None:
+        self.result = result
+        self.state = "done"
+        self.finished_unix = time.time()
+        self._notify()
+
+    def fail(self, error: BaseException) -> None:
+        self.error = f"{type(error).__name__}: {error}"
+        self.state = "failed"
+        self.finished_unix = time.time()
+        self._notify()
+
+    async def stream_events(self) -> AsyncIterator[Dict[str, object]]:
+        """Replay history, then yield live events until the job settles."""
+        index = 0
+        while True:
+            while index < len(self.events):
+                yield self.events[index]
+                index += 1
+            if self.state != "running":
+                return
+            waiter = self._wakeup
+            await waiter.wait()
+
+    def status_payload(self, include_results: bool = False) -> Dict[str, object]:
+        payload: Dict[str, object] = {
+            "sweep": self.id,
+            "state": self.state,
+            "done": self.done,
+            "total": self.total,
+            "cached": self.cached_count,
+            "simulated": self.simulated_count,
+            "created_unix": round(self.created_unix, 3),
+            "spec": sweep_spec_payload(self.spec),
+        }
+        if self.finished_unix is not None:
+            payload["elapsed_seconds"] = round(self.finished_unix - self.created_unix, 6)
+        if self.error is not None:
+            payload["error"] = self.error
+        if include_results and self.result is not None:
+            payload["results"] = [result_payload(result) for result in self.result]
+        return payload
+
+
+class ReproService:
+    """The HTTP application: routes, sweep jobs, and the cell scheduler.
+
+    Args:
+        store: a :class:`ResultStore`, a directory path for one, or ``None``
+            for the default store location.  The service *requires* a store —
+            answering from it is the point — so unlike CLI sweeps there is
+            no store-less mode.
+        jobs: worker ceiling for cold-cell simulation.
+        batch_window: see :class:`~repro.service.scheduler.CellScheduler`.
+    """
+
+    def __init__(
+        self,
+        store: Union[ResultStore, str, Path, None] = None,
+        jobs: int = 1,
+        batch_window: float = 0.010,
+    ) -> None:
+        if not isinstance(store, ResultStore):
+            store = ResultStore(store)
+        self.store = store
+        self.scheduler = CellScheduler(store=store, jobs=jobs, batch_window=batch_window)
+        self.jobs = jobs
+        self.sweeps: Dict[str, SweepJob] = {}
+        self.started_unix = time.time()
+        self.requests_served = 0
+        self._ids = itertools.count(1)
+        self.router = Router()
+        self.router.add("GET", "/v1/healthz", self._handle_healthz)
+        self.router.add("GET", "/v1/stats", self._handle_stats)
+        self.router.add("POST", "/v1/run", self._handle_run)
+        self.router.add("POST", "/v1/sweeps", self._handle_submit_sweep)
+        self.router.add("GET", "/v1/sweeps", self._handle_list_sweeps)
+        self.router.add("GET", "/v1/sweeps/{sweep_id}", self._handle_sweep_status)
+        self.router.add("GET", "/v1/sweeps/{sweep_id}/events", self._handle_sweep_events)
+
+    # -- request handlers --------------------------------------------------------------
+
+    async def _handle_healthz(self, request: Request) -> Response:
+        return json_response(
+            {
+                "status": "ok",
+                "version": __version__,
+                "uptime_seconds": round(time.time() - self.started_unix, 3),
+                "store_root": str(self.store.root),
+                "jobs": self.jobs,
+                "sweeps": len(self.sweeps),
+            }
+        )
+
+    async def _handle_stats(self, request: Request) -> Response:
+        # The exact `repro cache stats --json` payload, extended with the
+        # live service-side counters (one surface, two transports).
+        payload = self.store.stats()
+        payload["service"] = {
+            "uptime_seconds": round(time.time() - self.started_unix, 3),
+            "requests_served": self.requests_served,
+            "sweeps_submitted": len(self.sweeps),
+            "sweeps_running": sum(
+                1 for job in self.sweeps.values() if job.state == "running"
+            ),
+            "scheduler": self.scheduler.counters(),
+        }
+        return json_response(payload)
+
+    async def _handle_run(self, request: Request) -> Response:
+        run = parse_run_request(request.json())
+        load_program(run.program)  # unknown program → clean 400
+        simulator: Simulator = resolve_architecture(run.architecture)
+        result: RunResult = await self.scheduler.run_cell(
+            run.program, run.latency, simulator, scale=run.scale, config=RunConfig()
+        )
+        return json_response(result_payload(result))
+
+    async def _handle_submit_sweep(self, request: Request) -> Response:
+        spec = parse_sweep_request(request.json())
+        for program in spec.programs:
+            load_program(program)  # fail fast, exactly like Runner.run
+        machines = resolve_sweep_machines(spec)
+        job = SweepJob(f"sw-{next(self._ids):05d}-{secrets.token_hex(4)}", spec)
+        self.sweeps[job.id] = job
+        job.task = asyncio.ensure_future(self._run_sweep(job, machines))
+        return json_response(
+            {
+                "sweep": job.id,
+                "state": job.state,
+                "total": job.total,
+                "status_url": f"/v1/sweeps/{job.id}",
+                "events_url": f"/v1/sweeps/{job.id}/events",
+            },
+            status=202,
+        )
+
+    async def _handle_list_sweeps(self, request: Request) -> Response:
+        return json_response(
+            {
+                "sweeps": [
+                    job.status_payload(include_results=False)
+                    for job in self.sweeps.values()
+                ]
+            }
+        )
+
+    def _job(self, sweep_id: str) -> SweepJob:
+        job = self.sweeps.get(sweep_id)
+        if job is None:
+            raise HttpError(404, f"no such sweep: {sweep_id}")
+        return job
+
+    async def _handle_sweep_status(self, request: Request, sweep_id: str) -> Response:
+        job = self._job(sweep_id)
+        include = request.query.get("results", "done") != "none"
+        return json_response(job.status_payload(include_results=include))
+
+    async def _handle_sweep_events(self, request: Request, sweep_id: str) -> EventStream:
+        job = self._job(sweep_id)
+
+        async def _events() -> AsyncIterator[str]:
+            async for payload in job.stream_events():
+                yield f"data: {json.dumps(payload, separators=(',', ':'))}\n\n"
+            final = json.dumps(
+                job.status_payload(include_results=False), separators=(",", ":")
+            )
+            yield f"event: done\ndata: {final}\n\n"
+
+        return EventStream(events=_events())
+
+    # -- sweep execution ---------------------------------------------------------------
+
+    async def _run_sweep(self, job: SweepJob, machines: List[Simulator]) -> None:
+        """Fan the grid out to the scheduler; collect results in grid order.
+
+        This is the service-side analogue of ``Runner.run``: same grid
+        order, same progress semantics (via ``_ProgressTracker``), but every
+        cell is a concurrent awaitable, so store hits resolve immediately,
+        duplicates join in-flight simulations from other sweeps, and cold
+        cells coalesce into the scheduler's batches.
+        """
+        spec = job.spec
+        tracker = _ProgressTracker(job.record, len(spec))
+
+        async def _cell(program: str, latency: int, simulator: Simulator) -> RunResult:
+            result = await self.scheduler.run_cell(
+                program, latency, simulator, scale=spec.scale, config=RunConfig()
+            )
+            tracker.report(result)
+            return result
+
+        tasks = [
+            asyncio.ensure_future(_cell(program, latency, simulator))
+            for program in spec.programs
+            for latency in spec.latencies
+            for simulator in machines
+        ]
+        try:
+            results = await asyncio.gather(*tasks)
+            job.finish(SweepResult(spec=spec, results=list(results)))
+        except BaseException as exc:
+            for task in tasks:
+                task.cancel()
+            job.fail(exc)
+            if isinstance(exc, asyncio.CancelledError):
+                raise
+
+    # -- lifecycle ---------------------------------------------------------------------
+
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        await serve_connection(reader, writer, self.router, on_request=self._count_request)
+
+    def _count_request(self, request: Request) -> None:
+        self.requests_served += 1
+
+    async def start(self, host: str = "127.0.0.1", port: int = 8023) -> asyncio.AbstractServer:
+        """Bind and start accepting connections; returns the asyncio server.
+
+        Pass ``port=0`` to bind an ephemeral port; read the actual address
+        back from the returned server's ``sockets``.
+        """
+        return await asyncio.start_server(self._on_connection, host=host, port=port)
+
+    async def aclose(self) -> None:
+        """Cancel running sweeps and release the scheduler's pools."""
+        for job in list(self.sweeps.values()):
+            if job.task is not None and not job.task.done():
+                job.task.cancel()
+        await asyncio.gather(
+            *(job.task for job in self.sweeps.values() if job.task is not None),
+            return_exceptions=True,
+        )
+        self.scheduler.close()
+
+
+def serve(
+    host: str = "127.0.0.1",
+    port: int = 8023,
+    store: Union[ResultStore, str, Path, None] = None,
+    jobs: int = 1,
+    announce=print,
+) -> None:
+    """Run the service until interrupted (the ``repro serve`` entry point)."""
+
+    async def _main() -> None:
+        service = ReproService(store=store, jobs=jobs)
+        server = await service.start(host=host, port=port)
+        try:
+            sockets = server.sockets or ()
+            for sock in sockets:
+                bound_host, bound_port = sock.getsockname()[:2]
+                announce(
+                    f"serving on http://{bound_host}:{bound_port} "
+                    f"(store: {service.store.root}, jobs: {jobs})"
+                )
+            await server.serve_forever()
+        finally:
+            server.close()
+            await server.wait_closed()
+            await service.aclose()
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:
+        announce("shutting down")
+
+
+__all__ = ["ReproService", "SweepJob", "serve"]

@@ -21,6 +21,19 @@ the same key simply race to an identical file.  Reads treat anything
 unreadable — missing, torn by an unrelated tool, or written by a different
 format version — as a miss, which the next write repairs.
 
+The advisory index is the one file several writers *merge into* rather than
+replace wholesale, so its read-modify-write cycle is serialized by a
+cooperative lockfile (``index.lock``, created with ``O_CREAT | O_EXCL``):
+without it, two concurrent sweeps — service requests, parallel CI jobs, or
+two hosts sharing the store directory — could each read the same index,
+merge their own cells, and have the second ``os.replace`` silently drop the
+first writer's entries.  The lock is advisory like the index itself: a
+writer that cannot acquire it within :attr:`ResultStore.index_lock_timeout`
+skips the merge (objects are already on disk; the next full rebuild picks
+them up), and a lockfile older than
+:attr:`ResultStore.index_lock_stale_after` is broken, so a killed process
+can never wedge the store.
+
 The store is deliberately *provenance-only*: a loaded result differs from a
 freshly simulated one solely in its ``cached`` flag (and both carry the
 same ``store_key``), and those fields are excluded from equality, so cached
@@ -35,6 +48,7 @@ import os
 import shutil
 import tempfile
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
@@ -95,16 +109,39 @@ class ResultStore:
             :func:`default_store_root`.  Created lazily on first write, so
             constructing a store (e.g. in every pool worker) is free.
 
-    The per-instance :attr:`hits`, :attr:`misses` and :attr:`writes`
-    counters track this process's traffic only; they exist for reporting
-    ("sweep: 30 cached, 6 simulated"), not for accounting across processes.
+    The per-instance :attr:`hits`, :attr:`misses`, :attr:`writes`,
+    :attr:`index_merges` and :attr:`index_merges_skipped` counters track
+    this process's traffic only; they exist for reporting ("sweep: 30
+    cached, 6 simulated", the service's ``/v1/stats``), not for accounting
+    across processes.  :meth:`counters` returns them as one dictionary.
     """
+
+    #: How long :meth:`update_index` waits for the index lock before giving
+    #: the merge up (the index is advisory; the object files are already on
+    #: disk and the next full rebuild finds them).
+    index_lock_timeout: float = 10.0
+    #: A lockfile older than this is treated as left behind by a killed
+    #: process and broken.  Merges hold the lock for milliseconds, so a
+    #: minute-old lock can only be an orphan.
+    index_lock_stale_after: float = 60.0
 
     def __init__(self, root: Union[str, Path, None] = None) -> None:
         self.root = Path(root).expanduser() if root is not None else default_store_root()
         self.hits = 0
         self.misses = 0
         self.writes = 0
+        self.index_merges = 0
+        self.index_merges_skipped = 0
+
+    def counters(self) -> Dict[str, int]:
+        """This process's store traffic, as one dictionary (for reporting)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "writes": self.writes,
+            "index_merges": self.index_merges,
+            "index_merges_skipped": self.index_merges_skipped,
+        }
 
     # -- paths -----------------------------------------------------------------------
 
@@ -120,6 +157,10 @@ class ResultStore:
     @property
     def index_path(self) -> Path:
         return self.version_dir / "index.json"
+
+    @property
+    def index_lock_path(self) -> Path:
+        return self.version_dir / "index.lock"
 
     def object_path(self, key: str) -> Path:
         """Where the entry for ``key`` lives (whether or not it exists yet)."""
@@ -192,6 +233,65 @@ class ResultStore:
     def __contains__(self, key: str) -> bool:
         return self.object_path(key).exists()
 
+    # -- the index lock ----------------------------------------------------------------
+
+    def _try_create_lock(self) -> bool:
+        """One ``O_CREAT | O_EXCL`` attempt at the lockfile (the atomic step)."""
+        try:
+            fd = os.open(self.index_lock_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return False
+        try:
+            os.write(fd, f"pid={os.getpid()} created={round(time.time(), 3)}\n".encode())
+        finally:
+            os.close(fd)
+        return True
+
+    def _acquire_index_lock(self, timeout: Optional[float] = None) -> bool:
+        """Acquire the cooperative index lock, or give up after ``timeout``.
+
+        Contention is retried with a short sleep; a lockfile whose mtime is
+        older than :attr:`index_lock_stale_after` is unlinked and the
+        acquisition retried (two breakers racing is fine: the second unlink
+        fails silently and exactly one ``O_EXCL`` create wins).
+        """
+        if timeout is None:
+            timeout = self.index_lock_timeout
+        self.version_dir.mkdir(parents=True, exist_ok=True)
+        deadline = time.monotonic() + timeout
+        while True:
+            if self._try_create_lock():
+                return True
+            try:
+                age = time.time() - self.index_lock_path.stat().st_mtime
+            except OSError:
+                continue  # holder released between attempts; retry at once
+            if age > self.index_lock_stale_after:
+                try:
+                    self.index_lock_path.unlink()
+                except OSError:
+                    pass
+                continue
+            if time.monotonic() >= deadline:
+                return False
+            time.sleep(0.005)
+
+    def _release_index_lock(self) -> None:
+        try:
+            self.index_lock_path.unlink()
+        except OSError:
+            pass
+
+    @contextmanager
+    def _index_lock(self, timeout: Optional[float] = None) -> Iterator[bool]:
+        """Hold the index lock for the block; yields whether it was acquired."""
+        acquired = self._acquire_index_lock(timeout)
+        try:
+            yield acquired
+        finally:
+            if acquired:
+                self._release_index_lock()
+
     # -- listing and the index ---------------------------------------------------------
 
     def _object_files(self) -> Iterator[Path]:
@@ -238,22 +338,27 @@ class ResultStore:
         The index is a human/tooling convenience (``repro cache stats`` reads
         it back); correctness never depends on it being fresh.  Callers that
         just scanned may pass their ``entries`` to avoid a second walk.
+
+        The write itself takes the index lock so it cannot interleave with a
+        concurrent :meth:`update_index` merge, but a full rebuild is an
+        explicit maintenance operation and proceeds even when the lock
+        cannot be acquired — it is authoritative for what the scan saw.
         """
         if entries is None:
             entries = self.entries()
-        return self._write_index_payload(
-            {
-                entry.key: {
-                    "program": entry.program,
-                    "architecture": entry.architecture,
-                    "latency": entry.latency,
-                    "scale": entry.scale,
-                    "bytes": entry.size_bytes,
-                    "mtime": round(entry.mtime, 3),
-                }
-                for entry in entries
+        payload = {
+            entry.key: {
+                "program": entry.program,
+                "architecture": entry.architecture,
+                "latency": entry.latency,
+                "scale": entry.scale,
+                "bytes": entry.size_bytes,
+                "mtime": round(entry.mtime, 3),
             }
-        )
+            for entry in entries
+        }
+        with self._index_lock():
+            return self._write_index_payload(payload)
 
     def _write_index_payload(self, entries: Dict[str, Dict[str, object]]) -> Path:
         payload = {
@@ -277,7 +382,9 @@ class ResultStore:
             raise
         return self.index_path
 
-    def update_index(self, written: Sequence[Tuple[str, RunResult]], scale: float = 1.0) -> None:
+    def update_index(
+        self, written: Sequence[Tuple[str, RunResult]], scale: float = 1.0
+    ) -> bool:
         """Merge just-written entries into ``index.json`` without a full scan.
 
         The sweep runner calls this once per sweep with the cells it wrote:
@@ -287,32 +394,52 @@ class ResultStore:
         the merge starts from this sweep's entries); entries for keys some
         other process evicted meanwhile linger until the next full rebuild —
         the index is advisory, and ``cache stats``/``gc`` rebuild it exactly.
+
+        The whole read-merge-write cycle holds the index lock, so concurrent
+        mergers (service requests, parallel sweeps, other hosts on a shared
+        store) serialize instead of overwriting each other's entries.  When
+        the lock cannot be acquired within :attr:`index_lock_timeout` the
+        merge is *skipped* — never half-done — and ``False`` is returned;
+        the objects themselves are already on disk and the next merge or
+        full rebuild indexes them.
         """
-        try:
-            with self.index_path.open() as handle:
-                payload = json.load(handle)
-            entries = payload["entries"] if payload.get("format") == STORE_FORMAT_VERSION else {}
-            if not isinstance(entries, dict):
-                entries = {}
-        except (OSError, ValueError, KeyError):
-            entries = {}
-        changed = False
-        for key, result in written:
+        if not written:
+            return True
+        with self._index_lock() as acquired:
+            if not acquired:
+                self.index_merges_skipped += 1
+                return False
             try:
-                stat = self.object_path(key).stat()
-            except OSError:
-                continue
-            entries[key] = {
-                "program": result.program,
-                "architecture": result.architecture,
-                "latency": result.latency,
-                "scale": float(scale),
-                "bytes": stat.st_size,
-                "mtime": round(stat.st_mtime, 3),
-            }
-            changed = True
-        if changed:
-            self._write_index_payload(entries)
+                with self.index_path.open() as handle:
+                    payload = json.load(handle)
+                entries = (
+                    payload["entries"]
+                    if payload.get("format") == STORE_FORMAT_VERSION
+                    else {}
+                )
+                if not isinstance(entries, dict):
+                    entries = {}
+            except (OSError, ValueError, KeyError):
+                entries = {}
+            changed = False
+            for key, result in written:
+                try:
+                    stat = self.object_path(key).stat()
+                except OSError:
+                    continue
+                entries[key] = {
+                    "program": result.program,
+                    "architecture": result.architecture,
+                    "latency": result.latency,
+                    "scale": float(scale),
+                    "bytes": stat.st_size,
+                    "mtime": round(stat.st_mtime, 3),
+                }
+                changed = True
+            if changed:
+                self._write_index_payload(entries)
+                self.index_merges += 1
+        return True
 
     def stats(self, refresh_index: bool = False) -> Dict[str, object]:
         """Aggregate numbers for ``repro cache stats`` (always a fresh scan).
@@ -342,6 +469,7 @@ class ResultStore:
             "total_bytes": sum(entry.size_bytes for entry in entries),
             "by_architecture": by_architecture,
             "stale_version_dirs": stale,
+            "process_counters": self.counters(),
         }
 
     # -- eviction --------------------------------------------------------------------

@@ -1,0 +1,138 @@
+"""The minimal HTTP layer: parsing, routing, responses, streaming.
+
+These tests drive :func:`serve_connection` over in-memory stream pairs (a
+real client socket is exercised in ``test_server.py``); request parsing is
+tested against a hand-fed :class:`asyncio.StreamReader`.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.service.http import (
+    EventStream,
+    HttpError,
+    Router,
+    json_response,
+    read_request,
+)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def parse(data: bytes):
+    # The reader must be built inside a running loop (StreamReader binds one).
+    async def _parse():
+        reader = asyncio.StreamReader()
+        reader.feed_data(data)
+        reader.feed_eof()
+        return await read_request(reader)
+
+    return run(_parse())
+
+
+class TestReadRequest:
+    def test_parses_method_path_query_headers_and_body(self):
+        body = b'{"program":"trfd"}'
+        raw = (
+            b"POST /v1/run?results=full HTTP/1.1\r\n"
+            b"Host: localhost\r\n"
+            b"Content-Type: application/json\r\n"
+            b"Content-Length: %d\r\n"
+            b"\r\n" % len(body)
+        ) + body
+        request = parse(raw)
+        assert request.method == "POST"
+        assert request.path == "/v1/run"
+        assert request.query == {"results": "full"}
+        assert request.headers["host"] == "localhost"
+        assert request.body == b'{"program":"trfd"}'
+
+    def test_body_json_helper_parses_and_rejects(self):
+        raw = (
+            b"POST /x HTTP/1.1\r\nContent-Length: 2\r\n\r\n{}"
+        )
+        request = parse(raw)
+        assert request.json() == {}
+        request.body = b"{nope"
+        with pytest.raises(HttpError) as err:
+            request.json()
+        assert err.value.status == 400
+
+    def test_clean_eof_returns_none(self):
+        assert parse(b"") is None
+
+    def test_truncated_request_is_a_400(self):
+        with pytest.raises(HttpError) as err:
+            parse(b"GET /partial HTTP/1.1\r\n")
+        assert err.value.status == 400
+
+    @pytest.mark.parametrize(
+        "raw, status",
+        [
+            (b"NOT-A-REQUEST\r\n\r\n", 400),
+            (b"GET / SPDY/3\r\n\r\n", 400),
+            (b"GET / HTTP/1.1\r\nBadHeader\r\n\r\n", 400),
+            (b"GET / HTTP/1.1\r\nContent-Length: ten\r\n\r\n", 400),
+            (b"GET / HTTP/1.1\r\nContent-Length: -5\r\n\r\n", 400),
+            (b"GET / HTTP/1.1\r\nContent-Length: 99999999\r\n\r\n", 413),
+            (b"GET / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n", 501),
+        ],
+    )
+    def test_malformed_requests_map_to_http_errors(self, raw, status):
+        with pytest.raises(HttpError) as err:
+            parse(raw)
+        assert err.value.status == status
+
+
+class TestRouter:
+    def _router(self):
+        router = Router()
+
+        async def handler(request, **params):  # pragma: no cover - never run
+            raise AssertionError
+
+        router.add("GET", "/v1/sweeps", handler)
+        router.add("POST", "/v1/sweeps", handler)
+        router.add("GET", "/v1/sweeps/{sweep_id}/events", handler)
+        return router
+
+    def test_exact_and_parameterized_matches(self):
+        router = self._router()
+        _, params = router.match("GET", "/v1/sweeps")
+        assert params == {}
+        _, params = router.match("GET", "/v1/sweeps/sw-1/events")
+        assert params == {"sweep_id": "sw-1"}
+
+    def test_unknown_path_is_404(self):
+        with pytest.raises(HttpError) as err:
+            self._router().match("GET", "/v2/sweeps")
+        assert err.value.status == 404
+
+    def test_wrong_method_is_405_listing_alternatives(self):
+        with pytest.raises(HttpError) as err:
+            self._router().match("DELETE", "/v1/sweeps")
+        assert err.value.status == 405
+        assert "GET" in str(err.value) and "POST" in str(err.value)
+
+    def test_parameter_segment_does_not_match_deeper_paths(self):
+        with pytest.raises(HttpError) as err:
+            self._router().match("GET", "/v1/sweeps/sw-1/events/extra")
+        assert err.value.status == 404
+
+
+class TestResponses:
+    def test_json_response_bodies_round_trip(self):
+        response = json_response({"alpha": 1}, status=202)
+        assert response.status == 202
+        assert json.loads(response.body) == {"alpha": 1}
+
+    def test_event_stream_declares_sse_content_type(self):
+        async def events():  # pragma: no cover - iterated elsewhere
+            yield "data: {}\n\n"
+
+        stream = EventStream(events=events())
+        assert stream.content_type == "text/event-stream"

@@ -1,0 +1,147 @@
+"""The JSON wire protocol: request parsing and payload rendering."""
+
+import pytest
+
+from repro.core.experiment import CellProgress, SweepSpec
+from repro.service.protocol import (
+    ProtocolError,
+    parse_run_request,
+    parse_sweep_request,
+    progress_payload,
+    result_payload,
+    sweep_spec_payload,
+)
+
+
+class TestParseRunRequest:
+    def test_minimal_request_gets_defaults(self):
+        run = parse_run_request({"program": "trfd"})
+        assert run.program == "trfd"
+        assert run.architecture == "dva"
+        assert run.latency == 1
+        assert run.scale == 1.0
+
+    def test_full_request(self):
+        run = parse_run_request(
+            {"program": "DYFESM", "arch": "dva@lanes=2", "latency": 50, "scale": 0.5}
+        )
+        assert run.architecture == "dva@lanes=2"
+        assert run.latency == 50
+        assert run.scale == 0.5
+
+    def test_architecture_is_an_accepted_alias_for_arch(self):
+        run = parse_run_request({"program": "trfd", "architecture": "ref"})
+        assert run.architecture == "ref"
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            [],
+            "not an object",
+            {},
+            {"program": ""},
+            {"program": 7},
+            {"program": "trfd", "latency": "fifty"},
+            {"program": "trfd", "latency": 1.5},
+            {"program": "trfd", "latency": True},
+            {"program": "trfd", "scale": "big"},
+            {"program": "trfd", "arch": ""},
+            {"program": "trfd", "arch": "ref", "architecture": "dva"},
+            {"program": "trfd", "unknown_field": 1},
+        ],
+    )
+    def test_malformed_requests_raise_protocol_errors(self, payload):
+        with pytest.raises(ProtocolError):
+            parse_run_request(payload)
+
+
+class TestParseSweepRequest:
+    def test_lists_parse_into_a_spec(self):
+        spec = parse_sweep_request(
+            {
+                "programs": ["dyfesm", "trfd"],
+                "latencies": [1, 50],
+                "architectures": ["ref", "dva"],
+            }
+        )
+        assert spec == SweepSpec(
+            programs=("dyfesm", "trfd"), latencies=(1, 50), architectures=("ref", "dva")
+        )
+
+    def test_comma_separated_strings_parse_like_the_cli(self):
+        spec = parse_sweep_request(
+            {"programs": "dyfesm,trfd", "latencies": "1,50", "architectures": "ref,dva"}
+        )
+        assert spec.programs == ("DYFESM", "TRFD")
+        assert spec.latencies == (1, 50)
+
+    def test_axes_as_mapping(self):
+        spec = parse_sweep_request(
+            {"programs": ["trfd"], "latencies": [1], "axes": {"lanes": [1, 2]}}
+        )
+        assert spec.axes == (("lanes", (1, 2)),)
+
+    def test_axes_as_pair_list_round_trips_with_payload(self):
+        spec = parse_sweep_request(
+            {"programs": ["trfd"], "latencies": [1], "axes": [["lanes", [1, 2]]]}
+        )
+        assert parse_sweep_request(sweep_spec_payload(spec)) == spec
+
+    def test_spec_payload_matches_sweep_result_spec_block(self):
+        spec = SweepSpec(programs=("trfd",), latencies=(1, 50), axes={"lanes": (1, 2)})
+        payload = sweep_spec_payload(spec)
+        assert payload["programs"] == ["TRFD"]
+        assert payload["axes"] == [["lanes", [1, 2]]]
+        assert parse_sweep_request(payload) == spec
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            {},
+            {"programs": []},
+            {"programs": ["trfd"]},  # no latencies at all
+            {"programs": ["trfd"], "latencies": "one,two"},
+            {"programs": ["trfd"], "latencies": [1], "axes": "lanes=1,2"},
+            {"programs": ["trfd"], "latencies": [1], "axes": [["lanes"]]},
+            {"programs": ["trfd"], "latencies": [1], "axes": {"": [1]}},
+            {"programs": ["trfd"], "latencies": [1], "bogus": True},
+            {"programs": ["trfd"], "latencies": [1], "scale": -1.0},
+            {"programs": ["trfd"], "latencies": [1, 1.5]},
+        ],
+    )
+    def test_malformed_sweeps_raise_protocol_errors(self, payload):
+        with pytest.raises(ProtocolError):
+            parse_sweep_request(payload)
+
+    def test_configuration_errors_surface_as_protocol_errors(self):
+        # Duplicate latency declaration is SweepSpec's own validation.
+        with pytest.raises(ProtocolError):
+            parse_sweep_request(
+                {"programs": ["trfd"], "latencies": [1], "axes": {"latency": [1, 50]}}
+            )
+
+
+class TestResponsePayloads:
+    def test_result_payload_carries_headline_and_detail(self, monkeypatch):
+        from repro.core.registry import simulate
+        from repro.workloads.perfect_club import build_trace
+
+        result = simulate(build_trace("TRFD"), "dva", latency=1)
+        payload = result_payload(result)
+        assert payload["program"] == "TRFD"
+        assert payload["architecture"] == "dva"
+        assert payload["total_cycles"] == result.total_cycles
+        assert payload["cached"] is False
+        assert payload["summary"]["total_cycles"] == result.total_cycles
+
+    def test_progress_payload_round_trips_the_event_fields(self):
+        event = CellProgress(
+            done=3, total=8, cached=2, simulated=1, program="TRFD",
+            latency=50, architecture="dva", from_store=False,
+        )
+        payload = progress_payload(event)
+        assert payload == {
+            "done": 3, "total": 8, "cached": 2, "simulated": 1,
+            "program": "TRFD", "latency": 50, "architecture": "dva",
+            "from_store": False,
+        }
