@@ -1,0 +1,132 @@
+#!/usr/bin/env python
+"""Smoke-test the distributed sweep layer end to end (run in CI).
+
+On an ephemeral store directory:
+
+1. a coordinator publishes the manifest for a 12-cell sweep and spawns
+   **two** real ``repro worker`` subprocesses that claim cells through
+   atomic lease files, simulate them, and write results through the store;
+2. the assembled :class:`~repro.core.experiment.SweepResult` covers every
+   grid cell and is numerically identical to a serial in-process run;
+3. *both* workers claimed and completed at least one cell (the manifest
+   was genuinely shared, not drained by one process while the other
+   starved);
+4. the warm re-run of the same spec publishes nothing, spawns nothing and
+   simulates zero cells — everything is answered from the store;
+5. ``repro cache gc`` leaves the fresh sweep's coordination state alone.
+
+Exits non-zero (with the failing detail on stderr) on any violation, so a
+CI step is just ``python scripts/cluster_smoke.py``.
+"""
+
+import json
+import os
+import sys
+import tempfile
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "src"))
+
+from repro import ResultStore, Runner, SweepSpec  # noqa: E402
+from repro.cluster import ClusterCoordinator, cluster_status  # noqa: E402
+
+SPEC = SweepSpec(
+    programs=("dyfesm", "trfd"),
+    latencies=(1, 50, 100),
+    architectures=("ref", "dva"),
+    scale=1.0,
+)
+WORKERS = 2
+
+
+def check(condition, what, context=None):
+    if not condition:
+        raise SystemExit(
+            f"FAIL: {what}\n  context: {json.dumps(context, indent=2, default=str)}"
+        )
+    print(f"ok: {what}")
+
+
+def main():
+    with tempfile.TemporaryDirectory(prefix="repro-cluster-smoke-") as root:
+        store = ResultStore(root)
+        coordinator = ClusterCoordinator(store)
+
+        # 1-2: cold distributed run, compared cell-for-cell against serial.
+        result = coordinator.run_distributed(
+            SPEC, workers=WORKERS, timeout=600.0
+        )
+        check(len(result) == len(SPEC), f"all {len(SPEC)} grid cells assembled")
+        check(
+            result.simulated_count == len(SPEC) and result.cached_count == 0,
+            "cold run simulated every cell",
+            {"simulated": result.simulated_count, "cached": result.cached_count},
+        )
+        with tempfile.TemporaryDirectory(prefix="repro-serial-") as serial_root:
+            serial = Runner(jobs=1, store=ResultStore(serial_root)).run(SPEC)
+        check(
+            result == serial,
+            "distributed result is identical to a serial run",
+            {
+                "distributed": [r.total_cycles for r in result],
+                "serial": [r.total_cycles for r in serial],
+            },
+        )
+
+        # 3: the manifest was genuinely shared between the two processes.
+        status = cluster_status(store)
+        workers = [
+            row for sweep in status["sweeps"] for row in sweep["workers"]
+        ]
+        check(
+            len(workers) == WORKERS,
+            f"{WORKERS} workers reported status",
+            status,
+        )
+        for row in workers:
+            check(
+                row["claimed"] + row["stolen"] >= 1 and row["completed"] >= 1,
+                f"worker {row['worker']} claimed and completed cells "
+                f"(claimed={row['claimed']} stolen={row['stolen']} "
+                f"completed={row['completed']})",
+                status,
+            )
+        check(
+            sum(row["completed"] for row in workers) == len(SPEC),
+            "workers completed exactly the full grid between them",
+            status,
+        )
+        check(
+            all(row["failed"] == 0 for row in workers),
+            "no worker reported failures",
+            status,
+        )
+
+        # 4: warm re-run — store answers everything, nothing spawns.
+        warm = coordinator.run_distributed(SPEC, workers=WORKERS)
+        check(
+            warm.simulated_count == 0 and warm.cached_count == len(SPEC),
+            "warm re-run simulated zero cells",
+            {"simulated": warm.simulated_count, "cached": warm.cached_count},
+        )
+        after = cluster_status(store)
+        check(
+            len(after["sweeps"]) == len(status["sweeps"]),
+            "warm re-run published no new manifest",
+            after,
+        )
+
+        # 5: gc leaves fresh (recently-touched) coordination state alone.
+        report = store.gc()
+        check(
+            report["cluster_sweeps_reaped"] == 0
+            and report["cluster_claims_reaped"] == 0,
+            "cache gc left the fresh sweep's cluster state alone",
+            report,
+        )
+
+    print("cluster smoke: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,585 @@
+"""The cluster coordinator: manifest out, workers loose, results assembled.
+
+A :class:`ClusterCoordinator` turns a :class:`~repro.core.experiment.SweepSpec`
+into a shared work queue and back into a :class:`~repro.core.experiment.SweepResult`:
+
+* :meth:`~ClusterCoordinator.prepare` resolves the grid, answers what it can
+  from the store, and publishes the rest as a cost-ranked manifest;
+* :meth:`~ClusterCoordinator.wait` polls the store until every manifest cell
+  resolves, firing per-cell progress, watching worker status files for
+  reported failures and — when the coordinator spawned the workers itself —
+  for a fleet that died with work outstanding;
+* :meth:`~ClusterCoordinator.assemble` reads the full grid back out of the
+  store in grid order, producing a sweep result golden-identical to a serial
+  run (the store is provenance-only by construction);
+* :meth:`~ClusterCoordinator.run_distributed` composes the three around a
+  fleet of spawned ``repro worker`` subprocesses — the one-machine,
+  N-process mode the bench and CI exercise.  Workers on *other* hosts join
+  the same sweep by pointing ``repro worker`` at the shared store directory;
+  the coordinator cannot tell the difference and does not need to.
+
+This module also carries the cluster's two maintenance surfaces:
+:func:`cluster_status` (behind ``repro cluster status`` and the service's
+``/v1/stats``) and :func:`reap_cluster` (behind ``repro cache gc``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import time
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.config import RunConfig
+from repro.core.experiment import (
+    CellProgress,
+    ProgressCallback,
+    SweepResult,
+    SweepSpec,
+    estimate_cell_cost,
+    resolve_sweep_machines,
+)
+from repro.core.result import RunResult
+from repro.store import ResultStore, cell_key
+from repro.workloads.perfect_club import load_program
+from repro.cluster.claims import DEFAULT_LEASE_SECONDS, read_claim
+from repro.cluster.manifest import (
+    ClusterError,
+    Manifest,
+    ManifestCell,
+    claims_dir,
+    cluster_root,
+    list_sweep_ids,
+    load_manifest,
+    new_sweep_id,
+    remaining_cells,
+    sweep_dir,
+    workers_dir,
+)
+
+
+@dataclass
+class PreparedSweep:
+    """One sweep, resolved and (if needed) published for workers.
+
+    ``grid`` holds every cell in grid order as ``(program, latency, label,
+    key)``; ``hits`` the results the store answered at preparation time; the
+    ``manifest`` (``None`` when the sweep was fully warm) everything left
+    for the cluster to simulate.
+    """
+
+    sweep_id: str
+    spec: SweepSpec
+    config: RunConfig
+    grid: List[Tuple[str, int, str, str]]
+    hits: Dict[str, RunResult]
+    manifest: Optional[Manifest]
+
+    @property
+    def total(self) -> int:
+        return len(self.grid)
+
+    @property
+    def unfinished(self) -> int:
+        return len(self.manifest.cells) if self.manifest is not None else 0
+
+
+class _Progress:
+    """Counts finished cells for the coordinator's progress callback."""
+
+    def __init__(self, callback: Optional[ProgressCallback], total: int) -> None:
+        self.callback = callback
+        self.total = total
+        self.done = 0
+        self.cached = 0
+        self.simulated = 0
+
+    def report(
+        self, program: str, latency: int, architecture: str, from_store: bool
+    ) -> None:
+        self.done += 1
+        if from_store:
+            self.cached += 1
+        else:
+            self.simulated += 1
+        if self.callback is not None:
+            self.callback(
+                CellProgress(
+                    done=self.done,
+                    total=self.total,
+                    cached=self.cached,
+                    simulated=self.simulated,
+                    program=program,
+                    latency=latency,
+                    architecture=architecture,
+                    from_store=from_store,
+                )
+            )
+
+
+class ClusterCoordinator:
+    """Drives one distributed sweep through a shared store directory."""
+
+    def __init__(
+        self,
+        store: Union[ResultStore, str, Path],
+        poll_seconds: float = 0.05,
+    ) -> None:
+        if not isinstance(store, ResultStore):
+            store = ResultStore(store)
+        self.store = store
+        self.poll_seconds = poll_seconds
+
+    # -- phase 1: publish --------------------------------------------------------------
+
+    def prepare(
+        self, spec: SweepSpec, sweep_id: Optional[str] = None
+    ) -> PreparedSweep:
+        """Resolve the grid, split it into store hits and manifest cells.
+
+        Distributed sweeps run the default :class:`RunConfig` — the same
+        contract as CLI sweeps and the service — because workers recompute
+        cell keys independently and a side-channel configuration would break
+        that symmetry.  Every cell must be cacheable (spec-backed machines):
+        an uncacheable cell has no content-addressed identity for workers to
+        rendezvous on, so it is rejected here, before anything is published.
+        """
+        config = RunConfig()
+        for program in spec.programs:
+            load_program(program)  # fail fast on unknown programs
+        machines = resolve_sweep_machines(spec)
+        pairs = [
+            (latency, simulator)
+            for latency in spec.latencies
+            for simulator in machines
+        ]
+        grid: List[Tuple[str, int, str, str]] = []
+        hits: Dict[str, RunResult] = {}
+        pending: Dict[str, ManifestCell] = {}
+        for program in spec.programs:
+            for latency, simulator in pairs:
+                key = cell_key(program, spec.scale, latency, simulator, config)
+                if key is None:
+                    raise ClusterError(
+                        f"cell ({program}, {latency}, {simulator.name}) is not "
+                        "cacheable; distributed sweeps need spec-backed "
+                        "machines (the cell key is the cluster's unit of "
+                        "coordination)"
+                    )
+                grid.append((program, latency, simulator.name, key))
+                if key in hits or key in pending:
+                    continue
+                found = self.store.get(key)
+                if found is not None:
+                    hits[key] = found
+                    continue
+                pending[key] = ManifestCell(
+                    key=key,
+                    program=program,
+                    latency=latency,
+                    architecture=simulator.name,
+                    scale=spec.scale,
+                    cost=estimate_cell_cost(program, spec.scale, latency),
+                )
+        cells = list(pending.values())
+        manifest: Optional[Manifest] = None
+        if cells:
+            manifest = Manifest(
+                sweep_id=sweep_id if sweep_id else new_sweep_id(),
+                spec={
+                    "programs": list(spec.programs),
+                    "latencies": list(spec.latencies),
+                    "architectures": list(spec.architectures),
+                    "scale": spec.scale,
+                    "axes": [[name, list(values)] for name, values in spec.axes],
+                },
+                created_unix=time.time(),
+                cells=tuple(cells),
+            )
+            manifest.write(self.store)
+        return PreparedSweep(
+            sweep_id=manifest.sweep_id if manifest is not None else (sweep_id or "warm"),
+            spec=spec,
+            config=config,
+            grid=grid,
+            hits=hits,
+            manifest=manifest,
+        )
+
+    # -- phase 2: drain ----------------------------------------------------------------
+
+    def wait(
+        self,
+        prepared: PreparedSweep,
+        timeout: Optional[float] = None,
+        progress: Optional[ProgressCallback] = None,
+        procs: Sequence["subprocess.Popen"] = (),
+        _tracker: Optional[_Progress] = None,
+    ) -> None:
+        """Block until every manifest cell resolves in the store.
+
+        Raises :class:`ClusterError` when the sweep can no longer finish:
+        every unfinished cell has a failure reported against it in some
+        worker's status file, every coordinator-spawned worker process has
+        exited with cells outstanding, or ``timeout`` elapsed.
+        """
+        tracker = _tracker if _tracker is not None else _Progress(
+            progress, prepared.total
+        )
+        if _tracker is None:
+            for program, latency, label, key in prepared.grid:
+                if key in prepared.hits:
+                    tracker.report(program, latency, label, from_store=True)
+        if prepared.manifest is None:
+            return
+        remaining: Dict[str, ManifestCell] = {
+            cell.key: cell for cell in prepared.manifest.cells
+        }
+        # Progress counts *grid* cells; a key normally backs exactly one but
+        # degenerate specs (repeated latencies) can fold several onto it.
+        multiplicity: Dict[str, int] = {}
+        for _program, _latency, _label, key in prepared.grid:
+            if key in remaining:
+                multiplicity[key] = multiplicity.get(key, 0) + 1
+        deadline = (
+            time.monotonic() + timeout if timeout is not None else None
+        )
+        sweep_id = prepared.manifest.sweep_id
+        while remaining:
+            for key in list(remaining):
+                if key in self.store:
+                    cell = remaining.pop(key)
+                    for _ in range(multiplicity.get(key, 1)):
+                        tracker.report(
+                            cell.program, cell.latency, cell.architecture,
+                            from_store=False,
+                        )
+            if not remaining:
+                return
+            failed = self._failed_keys(sweep_id)
+            if failed and set(remaining) <= failed.keys():
+                details = "; ".join(
+                    failed[key] for key in list(remaining)[:3]
+                )
+                raise ClusterError(
+                    f"sweep {sweep_id}: all {len(remaining)} unfinished "
+                    f"cells failed on every worker that tried ({details})"
+                )
+            if procs and all(proc.poll() is not None for proc in procs):
+                # The fleet is gone.  One final store re-check closes the
+                # race where the last worker wrote results and exited
+                # between our store pass and the poll.
+                if any(key in self.store for key in remaining):
+                    continue
+                codes = [proc.returncode for proc in procs]
+                raise ClusterError(
+                    f"sweep {sweep_id}: all {len(procs)} workers exited "
+                    f"(return codes {codes}) with {len(remaining)} cells "
+                    "unfinished"
+                )
+            if deadline is not None and time.monotonic() >= deadline:
+                raise ClusterError(
+                    f"sweep {sweep_id}: timed out with {len(remaining)} of "
+                    f"{prepared.unfinished} cells unfinished"
+                )
+            time.sleep(self.poll_seconds)
+
+    def _failed_keys(self, sweep_id: str) -> Dict[str, str]:
+        """Cell keys some worker reported a failure for, with the messages."""
+        failed: Dict[str, str] = {}
+        for status in read_worker_statuses(self.store, sweep_id):
+            for error in status.get("errors", ()):
+                if isinstance(error, dict) and "key" in error:
+                    failed[str(error["key"])] = str(error.get("error", "?"))
+        return failed
+
+    # -- phase 3: collect --------------------------------------------------------------
+
+    def assemble(self, prepared: PreparedSweep) -> SweepResult:
+        """Read the full grid out of the store, in grid order.
+
+        Manifest cells come back marked ``cached=False``: the store is how
+        their results travelled, but *this* sweep simulated them — so the
+        cached/simulated split matches what a serial run would report, and
+        the assembled :class:`SweepResult` is golden-identical to one.
+        """
+        results: List[RunResult] = []
+        for program, latency, label, key in prepared.grid:
+            result = prepared.hits.get(key)
+            if result is None:
+                result = self.store.get(key)
+                if result is None:
+                    raise ClusterError(
+                        f"cell ({program}, {latency}, {label}) vanished from "
+                        "the store during assembly (evicted mid-sweep?)"
+                    )
+                result = replace(result, cached=False)
+            results.append(result)
+        fresh = [
+            (result.store_key, result)
+            for result in results
+            if not result.cached and result.store_key is not None
+        ]
+        if fresh:
+            # Workers merge their own cells into the advisory index, but one
+            # terminated mid-sweep (or killed) never gets to; merging here is
+            # idempotent and closes that gap.
+            self.store.update_index(fresh, scale=prepared.spec.scale)
+        return SweepResult(spec=prepared.spec, results=results)
+
+    # -- the composed one-machine mode -------------------------------------------------
+
+    def run_distributed(
+        self,
+        spec: SweepSpec,
+        workers: int = 2,
+        lease_seconds: float = DEFAULT_LEASE_SECONDS,
+        timeout: Optional[float] = None,
+        progress: Optional[ProgressCallback] = None,
+        quiet: bool = True,
+    ) -> SweepResult:
+        """Run ``spec`` across ``workers`` spawned worker processes.
+
+        Fully-warm sweeps never spawn anything.  Spawned workers exit on
+        their own when the manifest drains; whatever survives an error path
+        is terminated before the error propagates.  ``workers=0`` spawns
+        nothing and only publishes and waits — the mode for a fleet of
+        standing ``repro worker`` daemons that discover manifests
+        themselves (pair it with ``timeout`` so a fleetless store cannot
+        block forever).
+        """
+        if workers < 0:
+            raise ClusterError("worker count cannot be negative")
+        prepared = self.prepare(spec)
+        tracker = _Progress(progress, prepared.total)
+        for program, latency, label, key in prepared.grid:
+            if key in prepared.hits:
+                tracker.report(program, latency, label, from_store=True)
+        if prepared.manifest is None:
+            return self.assemble(prepared)
+        procs = [
+            spawn_worker(
+                self.store.root,
+                prepared.sweep_id,
+                lease_seconds=lease_seconds,
+                quiet=quiet,
+            )
+            for _ in range(workers)
+        ]
+        try:
+            self.wait(prepared, timeout=timeout, procs=procs, _tracker=tracker)
+        finally:
+            # Workers exit by themselves once every manifest cell resolves;
+            # give them a moment to do so — terminating the instant the last
+            # result hits the store races the worker's final status write
+            # and under-reports its counters.  Stragglers (error paths,
+            # hung workers) are then terminated.
+            deadline = time.monotonic() + 5.0
+            for proc in procs:
+                if proc.poll() is None:
+                    try:
+                        proc.wait(timeout=max(0.0, deadline - time.monotonic()))
+                    except subprocess.TimeoutExpired:
+                        pass
+            for proc in procs:
+                if proc.poll() is None:
+                    proc.terminate()
+            for proc in procs:
+                try:
+                    proc.wait(timeout=10.0)
+                except subprocess.TimeoutExpired:  # pragma: no cover - defensive
+                    proc.kill()
+                    proc.wait()
+        return self.assemble(prepared)
+
+
+def spawn_worker(
+    store_root: Union[str, Path],
+    sweep_id: str,
+    lease_seconds: float = DEFAULT_LEASE_SECONDS,
+    worker_id: Optional[str] = None,
+    quiet: bool = True,
+) -> "subprocess.Popen":
+    """Start one ``repro worker`` subprocess attached to ``sweep_id``.
+
+    The child runs the same interpreter and sees this process's ``repro``
+    package (its ``src`` directory is prepended to ``PYTHONPATH``), so
+    spawning works from a source checkout and an installed package alike.
+    """
+    import repro
+
+    command = [
+        sys.executable,
+        "-m",
+        "repro",
+        "worker",
+        "--store-dir",
+        str(store_root),
+        "--sweep",
+        sweep_id,
+        "--lease",
+        str(lease_seconds),
+    ]
+    if worker_id:
+        command += ["--worker-id", worker_id]
+    env = dict(os.environ)
+    package_parent = str(Path(repro.__file__).resolve().parent.parent)
+    existing = env.get("PYTHONPATH", "")
+    env["PYTHONPATH"] = (
+        package_parent + (os.pathsep + existing if existing else "")
+    )
+    sink = subprocess.DEVNULL if quiet else None
+    return subprocess.Popen(command, env=env, stdout=sink, stderr=sink)
+
+
+# -- status and maintenance ------------------------------------------------------------
+
+
+def read_worker_statuses(
+    store: ResultStore, sweep_id: str
+) -> List[Dict[str, object]]:
+    """Every worker status file of one sweep, unreadable ones skipped."""
+    directory = workers_dir(store, sweep_id)
+    if not directory.is_dir():
+        return []
+    statuses = []
+    for path in sorted(directory.glob("*.json")):
+        try:
+            with path.open() as handle:
+                statuses.append(json.load(handle))
+        except (OSError, ValueError):
+            continue
+    return statuses
+
+
+def cluster_status(store: ResultStore, now: Optional[float] = None) -> Dict[str, object]:
+    """The cluster's observable state, for the CLI and ``/v1/stats``.
+
+    Liveness is judged from heartbeat ages: a worker whose status file was
+    refreshed within two lease periods is ``live``, anything older is
+    ``stale`` (dead or wedged — either way its claims are expiring).
+    """
+    now = now if now is not None else time.time()
+    sweeps: List[Dict[str, object]] = []
+    for sweep_id in list_sweep_ids(store):
+        try:
+            manifest = load_manifest(store, sweep_id)
+        except ClusterError:
+            continue
+        remaining = remaining_cells(manifest, store)
+        claims = []
+        directory = claims_dir(store, sweep_id)
+        if directory.is_dir():
+            for path in sorted(directory.glob("*.claim")):
+                claim = read_claim(path)
+                if claim is not None:
+                    claims.append(claim)
+        workers = []
+        for status in read_worker_statuses(store, sweep_id):
+            counters = status.get("counters", {})
+            updated = float(status.get("updated_unix", 0.0) or 0.0)
+            lease = float(status.get("lease_seconds", DEFAULT_LEASE_SECONDS) or 0.0)
+            heartbeat_age = round(now - updated, 3) if updated else None
+            workers.append(
+                {
+                    "worker": status.get("worker", "?"),
+                    "pid": status.get("pid"),
+                    "host": status.get("host"),
+                    "live": bool(
+                        heartbeat_age is not None
+                        and heartbeat_age <= 2.0 * max(lease, 1.0)
+                    ),
+                    "heartbeat_age_seconds": heartbeat_age,
+                    "claimed": counters.get("claimed", 0),
+                    "stolen": counters.get("stolen", 0),
+                    "completed": counters.get("completed", 0),
+                    "failed": counters.get("failed", 0),
+                }
+            )
+        sweeps.append(
+            {
+                "sweep": sweep_id,
+                "created_unix": round(manifest.created_unix, 3),
+                "state": "running" if remaining else "done",
+                "total": len(manifest),
+                "done": len(manifest) - len(remaining),
+                "remaining": len(remaining),
+                "claims_active": sum(1 for c in claims if not c.expired(now)),
+                "claims_expired": sum(1 for c in claims if c.expired(now)),
+                "workers": workers,
+            }
+        )
+    return {
+        "root": str(cluster_root(store)),
+        "sweeps": sweeps,
+        "running_sweeps": sum(1 for s in sweeps if s["state"] == "running"),
+    }
+
+
+def reap_cluster(
+    store: ResultStore,
+    dry_run: bool = False,
+    claim_grace_seconds: float = 3600.0,
+    sweep_grace_seconds: float = 3600.0,
+    now: Optional[float] = None,
+) -> Dict[str, int]:
+    """Reclaim dead cluster state (the ``repro cache gc`` hook).
+
+    Two policies, both conservative:
+
+    * claim files whose lease expired more than ``claim_grace_seconds`` ago
+      are unlinked — workers steal merely-expired claims themselves within
+      one lease, so a claim expired for an *hour* means no worker is coming;
+    * sweep directories whose manifest has fully drained (or is unreadable)
+      and was last touched more than ``sweep_grace_seconds`` ago are removed
+      wholesale — the results live in the store; the coordination scaffolding
+      is disposable.
+    """
+    import shutil
+
+    now = now if now is not None else time.time()
+    root = cluster_root(store)
+    claims_reaped = 0
+    sweeps_reaped = 0
+    if not root.is_dir():
+        return {"claims_reaped": 0, "sweeps_reaped": 0}
+    for path in sorted(root.iterdir()):
+        if not path.is_dir():
+            continue
+        sweep_id = path.name
+        drained = False
+        try:
+            manifest = load_manifest(store, sweep_id)
+            drained = not remaining_cells(manifest, store)
+        except ClusterError:
+            drained = True  # no usable manifest: nothing can ever work on it
+        try:
+            age = now - max(
+                (p.stat().st_mtime for p in path.rglob("*")),
+                default=path.stat().st_mtime,
+            )
+        except OSError:
+            age = 0.0
+        if drained and age > sweep_grace_seconds:
+            sweeps_reaped += 1
+            if not dry_run:
+                shutil.rmtree(path, ignore_errors=True)
+            continue
+        claim_directory = path / "claims"
+        if claim_directory.is_dir():
+            for claim_path in sorted(claim_directory.glob("*.claim")):
+                claim = read_claim(claim_path)
+                if claim is None:
+                    continue
+                if claim.age(now) > claim.lease_seconds + claim_grace_seconds:
+                    claims_reaped += 1
+                    if not dry_run:
+                        try:
+                            claim_path.unlink()
+                        except OSError:
+                            pass
+    return {"claims_reaped": claims_reaped, "sweeps_reaped": sweeps_reaped}

@@ -59,7 +59,7 @@ from typing import (
     Union,
 )
 
-from repro.common.errors import ConfigurationError
+from repro.common.errors import ConfigurationError, WorkloadError
 from repro.core.config import RunConfig
 from repro.core.machine import (
     LATENCY_AXIS,
@@ -79,6 +79,34 @@ Axes = Tuple[Tuple[str, Tuple[object, ...]], ...]
 #: One dispatchable unit of work: (latency, resolved simulator, cache key or
 #: ``None`` when the cell is uncacheable or no store is in play).
 CellTask = Tuple[int, Simulator, Optional[str]]
+
+#: Estimated trace lengths, memoized per (program, scale): the program models
+#: are tiny dataclasses but there is no reason to rebuild one per cell.
+_LENGTH_CACHE: Dict[Tuple[str, float], int] = {}
+
+
+def estimate_cell_cost(program: str, scale: float, latency: int) -> int:
+    """A unitless estimate of one cell's simulation cost, for scheduling.
+
+    Cost is (latency + 1) x the program's estimated dynamic trace length: a
+    latency-100 cell stalls the cycle-by-cycle engine through roughly two
+    orders of magnitude more idle cycles than a latency-1 cell of the same
+    trace, so latency dominates and trace length breaks ties across programs.
+    Used to dispatch work longest-job-first — by the :class:`Runner` (so
+    static batches stop starving on long-latency cells), the sweep service's
+    batch scheduler, and the cluster manifest (costliest cells are claimed
+    first).  Unknown programs cost 1: scheduling must never fail a cell that
+    validation has already admitted.
+    """
+    key = (program.upper(), float(scale))
+    length = _LENGTH_CACHE.get(key)
+    if length is None:
+        try:
+            length = load_program(program).estimated_trace_length(scale)
+        except WorkloadError:
+            length = 1
+        _LENGTH_CACHE[key] = length
+    return (int(latency) + 1) * length
 
 
 @dataclass(frozen=True)
@@ -454,13 +482,23 @@ def _available_parallelism() -> int:
         return os.cpu_count() or 1
 
 
-def _chunked(
-    tasks: Sequence[CellTask], chunks: int
-) -> List[Sequence[CellTask]]:
-    """Split ``tasks`` into at most ``chunks`` contiguous, order-preserving runs."""
-    chunks = max(1, min(chunks, len(tasks)))
-    size = -(-len(tasks) // chunks)
-    return [tasks[index:index + size] for index in range(0, len(tasks), size)]
+def _balanced_chunks(costs: Sequence[int], chunks: int) -> List[List[int]]:
+    """Deal task indices into at most ``chunks`` cost-balanced groups.
+
+    ``costs`` is expected cost-descending (the runner sorts misses that way);
+    dealing each task onto the currently lightest group is the classic
+    longest-processing-time-first heuristic, so the groups finish at roughly
+    the same time instead of one group hoarding every expensive cell.  Groups
+    keep their tasks in the incoming order; empty groups are dropped.
+    """
+    chunks = max(1, min(chunks, len(costs)))
+    groups: List[List[int]] = [[] for _ in range(chunks)]
+    loads = [0] * chunks
+    for index, cost in enumerate(costs):
+        target = min(range(chunks), key=loads.__getitem__)
+        groups[target].append(index)
+        loads[target] += cost
+    return [group for group in groups if group]
 
 
 class Runner:
@@ -558,12 +596,18 @@ class Runner:
         ]
 
         # Consult the store: every grid slot is either a hit (a ready result)
-        # or a miss (a CellTask still to simulate).  Slots are per program, in
-        # pair order, so re-assembly below restores exact grid order.
+        # or a miss (a CellTask still to simulate).  Misses are cost-ordered —
+        # longest job first, so a latency-100 cell starts before the cheap
+        # latency-1 cells of the same program instead of anchoring the tail of
+        # a static batch — and each task's original pair index travels with it
+        # (``positions``), so re-assembly below restores exact grid order no
+        # matter how dispatch reordered the work.
         hits: Dict[Tuple[int, int], RunResult] = {}
         misses: List[List[CellTask]] = []
+        miss_positions: List[List[int]] = []
         for program_index, program in enumerate(spec.programs):
             program_misses: List[CellTask] = []
+            positions: List[int] = []
             for pair_index, (latency, simulator) in enumerate(pairs):
                 key = None
                 if self.store is not None:
@@ -576,7 +620,18 @@ class Runner:
                                 tracker.report(found)
                             continue
                 program_misses.append((latency, simulator, key))
+                positions.append(pair_index)
+            if len(program_misses) > 1:
+                order = sorted(
+                    range(len(program_misses)),
+                    key=lambda i: -estimate_cell_cost(
+                        program, spec.scale, program_misses[i][0]
+                    ),
+                )
+                program_misses = [program_misses[i] for i in order]
+                positions = [positions[i] for i in order]
             misses.append(program_misses)
+            miss_positions.append(positions)
         miss_programs = [
             (index, program)
             for index, program in enumerate(spec.programs)
@@ -594,12 +649,16 @@ class Runner:
         else:
             per_program = self._run_parallel(spec, miss_programs, misses, config, tracker)
 
-        results: List[RunResult] = []
         for program_index in range(len(spec.programs)):
-            fresh = iter(per_program[program_index])
-            for pair_index in range(len(pairs)):
-                hit = hits.get((program_index, pair_index))
-                results.append(hit if hit is not None else next(fresh))
+            for position, result in zip(
+                miss_positions[program_index], per_program[program_index]
+            ):
+                hits[(program_index, position)] = result
+        results = [
+            hits[(program_index, pair_index)]
+            for program_index in range(len(spec.programs))
+            for pair_index in range(len(pairs))
+        ]
 
         if self.store is not None and miss_count:
             # Workers (or the serial loop) wrote the objects; merge this
@@ -661,7 +720,15 @@ class Runner:
         config: RunConfig,
         tracker: Optional[_ProgressTracker] = None,
     ) -> List[List[RunResult]]:
-        """Distribute the miss batches over the worker pool.
+        """Distribute the miss batches over the worker pool, costliest first.
+
+        Each program's (cost-ordered) tasks are dealt into per-worker chunks
+        longest-job-first, so every chunk carries a balanced share of the
+        expensive high-latency cells instead of one chunk hoarding them, and
+        the chunks themselves are submitted costliest first so the pool
+        starts the longest work immediately.  Results are mapped back to
+        each program's miss order explicitly, so reordering dispatch can
+        never reorder results.
 
         With a progress tracker attached the batches stream back through
         ``imap`` (still in submission order) and each batch's cells are
@@ -669,14 +736,29 @@ class Runner:
         """
         store_root = str(self.store.root) if self.store is not None else None
         chunks_per_program = -(-self.effective_jobs // len(miss_programs))
-        tasks = []
-        batches_of: List[Tuple[int, int]] = []  # (program index, batch count)
+        # One entry per dispatched chunk:
+        # (program index, program, local task indices, chunk cost).
+        entries: List[Tuple[int, str, List[int], int]] = []
         for index, program in miss_programs:
-            chunks = _chunked(misses[index], chunks_per_program)
-            batches_of.append((index, len(chunks)))
-            tasks.extend(
-                (program, spec.scale, chunk, config, store_root) for chunk in chunks
+            costs = [
+                estimate_cell_cost(program, spec.scale, latency)
+                for latency, _simulator, _key in misses[index]
+            ]
+            for local in _balanced_chunks(costs, chunks_per_program):
+                entries.append(
+                    (index, program, local, sum(costs[i] for i in local))
+                )
+        entries.sort(key=lambda entry: -entry[3])
+        tasks = [
+            (
+                program,
+                spec.scale,
+                tuple(misses[index][i] for i in local),
+                config,
+                store_root,
             )
+            for index, program, local, _cost in entries
+        ]
         pool = self._ensure_pool()
         if tracker is not None:
             flat = []
@@ -685,12 +767,13 @@ class Runner:
                 flat.append(batch)
         else:
             flat = pool.map(_run_program_cells, tasks)
-        per_program: List[List[RunResult]] = [[] for _ in spec.programs]
-        cursor = 0
-        for index, batch_count in batches_of:
-            for batch in flat[cursor:cursor + batch_count]:
-                per_program[index].extend(batch)
-            cursor += batch_count
+        per_program: List[List[RunResult]] = [
+            [None] * len(program_misses)  # type: ignore[list-item]
+            for program_misses in misses
+        ]
+        for (index, _program, local, _cost), batch in zip(entries, flat):
+            for position, result in zip(local, batch):
+                per_program[index][position] = result
         return per_program
 
     def run_batch(

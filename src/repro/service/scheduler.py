@@ -39,7 +39,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.config import RunConfig
-from repro.core.experiment import CellTask, Runner
+from repro.core.experiment import CellTask, Runner, estimate_cell_cost
 from repro.core.registry import Simulator
 from repro.core.result import RunResult
 from repro.store import ResultStore, cell_key
@@ -158,7 +158,13 @@ class CellScheduler:
             self._flush_handle = loop.call_later(self.batch_window, self._flush)
 
     def _flush(self) -> None:
-        """Close the batch window: group pending cells and dispatch each group."""
+        """Close the batch window: group pending cells and dispatch each group.
+
+        Groups are dispatched costliest first (estimated trace length x
+        latency), so when the window gathered more program groups than the
+        runner has workers, the pool starts the longest simulations
+        immediately instead of discovering them last.
+        """
         self._flush_handle = None
         pending, self._pending = self._pending, []
         if not pending:
@@ -166,7 +172,14 @@ class CellScheduler:
         groups: Dict[Tuple[str, float, RunConfig], List[_PendingCell]] = {}
         for cell in pending:
             groups.setdefault((cell.program, cell.scale, cell.config), []).append(cell)
-        for (program, scale, config), cells in groups.items():
+        ordered = sorted(
+            groups.items(),
+            key=lambda item: -sum(
+                estimate_cell_cost(item[0][0], item[0][1], cell.latency)
+                for cell in item[1]
+            ),
+        )
+        for (program, scale, config), cells in ordered:
             task = asyncio.ensure_future(self._run_batch(program, scale, config, cells))
             self._batch_tasks.add(task)
             task.add_done_callback(self._batch_tasks.discard)

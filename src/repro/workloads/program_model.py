@@ -98,6 +98,30 @@ class ProgramModel:
         }
         return trace
 
+    def estimated_trace_length(self, scale: float = 1.0) -> int:
+        """A cheap estimate of the dynamic instruction count at ``scale``.
+
+        Computed from the kernel schedules alone — invocation counts, strip
+        counts and per-strip instruction shapes — without compiling kernels or
+        emitting a single trace record, so callers can rank the *cost* of
+        simulating a cell (the sweep runner and the cluster manifest order
+        work longest-job-first) before any trace exists.  It tracks the real
+        trace length closely but is not exact; never use it where the actual
+        length matters.
+        """
+        if scale <= 0:
+            raise WorkloadError("trace scale must be positive")
+        total = self.prologue_scalar_instructions
+        for schedule in self.schedules:
+            invocations = max(1, math.ceil(schedule.total_invocations * scale))
+            kernel = schedule.kernel
+            per_strip = (
+                kernel.vector_instructions_per_strip
+                + kernel.scalar_instructions_per_strip
+            )
+            total += invocations * kernel.strips_per_invocation * per_strip
+        return total
+
     def _emit_prologue(self, compiler: VectorizingCompiler, builder: TraceBuilder) -> None:
         """Emit the scalar start-up code every real program executes once."""
         if self.prologue_scalar_instructions == 0:

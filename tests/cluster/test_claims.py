@@ -1,0 +1,161 @@
+"""Unit tests for atomic claims, lease expiry, stealing and the heartbeat."""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.cluster import ClaimSet, Heartbeat, read_claim
+
+
+@pytest.fixture()
+def claims_dir(tmp_path):
+    return tmp_path / "claims"
+
+
+class TestClaiming:
+    def test_claim_wins_once(self, claims_dir):
+        a = ClaimSet(claims_dir, "alpha")
+        b = ClaimSet(claims_dir, "beta")
+        assert a.try_claim("cell-1") is True
+        assert b.try_claim("cell-1") is False
+        assert a.held_keys() == ["cell-1"]
+        assert b.held_keys() == []
+
+    def test_claim_file_records_the_holder(self, claims_dir):
+        claims = ClaimSet(claims_dir, "alpha", lease_seconds=7.0)
+        claims.try_claim("cell-1")
+        info = read_claim(claims_dir / "cell-1.claim")
+        assert info.worker == "alpha"
+        assert info.key == "cell-1"
+        assert info.pid == os.getpid()
+        assert info.lease_seconds == 7.0
+        assert not info.expired()
+
+    def test_release_unlinks_and_allows_reclaim(self, claims_dir):
+        a = ClaimSet(claims_dir, "alpha")
+        b = ClaimSet(claims_dir, "beta")
+        a.try_claim("cell-1")
+        a.release("cell-1")
+        assert not (claims_dir / "cell-1.claim").exists()
+        assert b.try_claim("cell-1") is True
+
+    def test_release_all(self, claims_dir):
+        claims = ClaimSet(claims_dir, "alpha")
+        for key in ("c1", "c2", "c3"):
+            claims.try_claim(key)
+        claims.release_all()
+        assert claims.held_keys() == []
+        assert list(claims_dir.glob("*.claim")) == []
+
+    def test_counters(self, claims_dir):
+        claims = ClaimSet(claims_dir, "alpha")
+        claims.try_claim("c1")
+        claims.try_claim("c2")
+        claims.release("c1")
+        assert (claims.claimed, claims.released, claims.stolen) == (2, 1, 0)
+
+    def test_nonpositive_lease_is_rejected(self, claims_dir):
+        with pytest.raises(ValueError):
+            ClaimSet(claims_dir, "alpha", lease_seconds=0.0)
+
+
+class TestStealing:
+    def test_live_claim_is_not_stealable(self, claims_dir):
+        holder = ClaimSet(claims_dir, "holder", lease_seconds=60.0)
+        thief = ClaimSet(claims_dir, "thief", lease_seconds=60.0)
+        holder.try_claim("cell-1")
+        assert thief.try_steal("cell-1") is False
+        assert thief.stolen == 0
+
+    def test_expired_claim_is_stolen(self, claims_dir):
+        holder = ClaimSet(claims_dir, "holder", lease_seconds=0.05)
+        thief = ClaimSet(claims_dir, "thief", lease_seconds=60.0)
+        holder.try_claim("cell-1")
+        time.sleep(0.1)
+        assert thief.try_steal("cell-1") is True
+        assert thief.stolen == 1
+        assert read_claim(claims_dir / "cell-1.claim").worker == "thief"
+
+    def test_steal_of_vanished_claim_degrades_to_plain_claim(self, claims_dir):
+        thief = ClaimSet(claims_dir, "thief")
+        assert thief.try_steal("cell-1") is True
+        assert thief.stolen == 0  # nothing was stolen; it was free
+        assert thief.claimed == 1
+
+    def test_refresh_keeps_the_lease_alive(self, claims_dir):
+        holder = ClaimSet(claims_dir, "holder", lease_seconds=0.3)
+        thief = ClaimSet(claims_dir, "thief", lease_seconds=0.3)
+        holder.try_claim("cell-1")
+        for _ in range(4):
+            time.sleep(0.1)
+            assert holder.refresh() == 1
+        # 0.4s elapsed, longer than the lease — but refreshed throughout.
+        assert thief.try_steal("cell-1") is False
+
+    def test_abandon_stops_refreshing_without_unlinking(self, claims_dir):
+        holder = ClaimSet(claims_dir, "holder", lease_seconds=0.1)
+        holder.try_claim("cell-1")
+        holder.abandon("cell-1")
+        assert holder.held_keys() == []
+        assert holder.refresh() == 0
+        assert (claims_dir / "cell-1.claim").exists()
+        time.sleep(0.15)
+        thief = ClaimSet(claims_dir, "thief")
+        assert thief.try_steal("cell-1") is True
+
+
+class TestGarbageClaims:
+    def test_read_claim_of_missing_file_is_none(self, claims_dir):
+        assert read_claim(claims_dir / "nope.claim") is None
+
+    def test_garbage_claim_still_expires(self, claims_dir):
+        claims_dir.mkdir(parents=True)
+        path = claims_dir / "cell-g.claim"
+        path.write_text("not json at all")
+        info = read_claim(path)
+        assert info.key == "cell-g"
+        assert info.worker == "?"
+        assert not info.expired()  # fresh mtime
+        old = time.time() - info.lease_seconds - 10
+        os.utime(path, (old, old))
+        assert read_claim(path).expired()
+
+    def test_garbage_claim_is_stealable_once_expired(self, claims_dir):
+        claims_dir.mkdir(parents=True)
+        path = claims_dir / "cell-g.claim"
+        path.write_text(json.dumps({"weird": True}))
+        old = time.time() - 120
+        os.utime(path, (old, old))
+        thief = ClaimSet(claims_dir, "thief")
+        assert thief.try_steal("cell-g") is True
+
+
+class TestHeartbeat:
+    def test_heartbeat_refreshes_and_beats(self, claims_dir):
+        claims = ClaimSet(claims_dir, "holder", lease_seconds=0.3)
+        claims.try_claim("cell-1")
+        beats = []
+        with Heartbeat(claims, interval=0.05, on_beat=lambda: beats.append(1)):
+            time.sleep(0.5)
+            # The lease would have lapsed twice over without the heartbeat.
+            thief = ClaimSet(claims_dir, "thief", lease_seconds=0.3)
+            assert thief.try_steal("cell-1") is False
+        assert beats  # on_beat ran alongside the refreshes
+
+    def test_on_beat_exceptions_do_not_kill_the_thread(self, claims_dir):
+        claims = ClaimSet(claims_dir, "holder", lease_seconds=0.2)
+        claims.try_claim("cell-1")
+
+        def explode():
+            raise RuntimeError("status write failed")
+
+        with Heartbeat(claims, interval=0.03, on_beat=explode):
+            time.sleep(0.3)
+            thief = ClaimSet(claims_dir, "thief", lease_seconds=0.2)
+            assert thief.try_steal("cell-1") is False
+
+    def test_interval_defaults_to_a_third_of_the_lease(self, claims_dir):
+        claims = ClaimSet(claims_dir, "holder", lease_seconds=30.0)
+        assert Heartbeat(claims).interval == pytest.approx(10.0)

@@ -1,0 +1,302 @@
+"""Coordinator tests: prepare/wait/assemble, status, reaping, golden identity."""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.cluster import (
+    ClusterCoordinator,
+    ClusterError,
+    ClusterWorker,
+    ClaimSet,
+    claims_dir,
+    cluster_status,
+    list_sweep_ids,
+    load_manifest,
+    reap_cluster,
+    sweep_dir,
+)
+from repro.core.experiment import Runner, SweepSpec
+from repro.store import ResultStore
+
+
+SPEC = SweepSpec(
+    programs=("dyfesm", "trfd"), latencies=(1, 50), architectures=("ref", "dva"),
+    scale=0.2,
+)
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return ResultStore(tmp_path / "cache")
+
+
+@pytest.fixture()
+def coordinator(store):
+    return ClusterCoordinator(store, poll_seconds=0.01)
+
+
+class TestPrepare:
+    def test_cold_prepare_publishes_every_cell(self, store, coordinator):
+        prepared = coordinator.prepare(SPEC)
+        assert prepared.total == len(SPEC)
+        assert prepared.unfinished == len(SPEC)
+        assert prepared.hits == {}
+        manifest = load_manifest(store, prepared.sweep_id)
+        assert len(manifest) == len(SPEC)
+
+    def test_manifest_cells_are_cost_ranked(self, store, coordinator):
+        prepared = coordinator.prepare(SPEC)
+        costs = [cell.cost for cell in prepared.manifest.cells]
+        assert costs == sorted(costs, reverse=True)
+
+    def test_warm_prepare_publishes_nothing(self, store, coordinator, tmp_path):
+        Runner(jobs=1, store=store).run(SPEC)
+        prepared = coordinator.prepare(SPEC)
+        assert prepared.manifest is None
+        assert len(prepared.hits) == len(SPEC)
+        assert list_sweep_ids(store) == []
+
+    def test_partially_warm_prepare_publishes_only_misses(
+        self, store, coordinator
+    ):
+        warm = SweepSpec(
+            programs=("dyfesm",), latencies=(1,), architectures=("ref", "dva"),
+            scale=0.2,
+        )
+        Runner(jobs=1, store=store).run(warm)
+        prepared = coordinator.prepare(SPEC)
+        assert len(prepared.hits) == 2
+        assert prepared.unfinished == len(SPEC) - 2
+
+    def test_uncacheable_cells_are_rejected(self, store, coordinator):
+        from repro.core.registry import (
+            register_architecture,
+            unregister_architecture,
+        )
+
+        class Opaque:
+            name = "opaque-test-arch"
+            description = "no spec, no cell key"
+
+            def simulate(self, trace, config):  # pragma: no cover
+                raise NotImplementedError
+
+        try:
+            register_architecture(Opaque())
+            with pytest.raises(ClusterError, match="not cacheable"):
+                coordinator.prepare(
+                    SweepSpec(
+                        programs=("dyfesm",), latencies=(1,),
+                        architectures=("opaque-test-arch",), scale=0.2,
+                    )
+                )
+        finally:
+            unregister_architecture("opaque-test-arch")
+
+    def test_unknown_program_fails_fast(self, coordinator):
+        from repro.common.errors import ReproError
+
+        with pytest.raises(ReproError):
+            coordinator.prepare(SweepSpec(programs=("nope",), latencies=(1,)))
+
+
+class TestWaitAndAssemble:
+    def test_wait_returns_once_a_worker_drains_the_manifest(
+        self, store, coordinator
+    ):
+        prepared = coordinator.prepare(SPEC)
+        ClusterWorker(store, worker_id="w1", lease_seconds=5.0).run_sweep(
+            prepared.sweep_id
+        )
+        events = []
+        coordinator.wait(prepared, timeout=5.0, progress=events.append)
+        assert len(events) == prepared.total
+        assert events[-1].done == prepared.total
+
+    def test_wait_times_out_with_no_workers(self, coordinator):
+        prepared = coordinator.prepare(SPEC)
+        with pytest.raises(ClusterError, match="timed out"):
+            coordinator.wait(prepared, timeout=0.05)
+
+    def test_wait_raises_when_every_remaining_cell_failed(
+        self, store, coordinator
+    ):
+        prepared = coordinator.prepare(SPEC)
+        from repro.cluster import workers_dir
+
+        directory = workers_dir(store, prepared.sweep_id)
+        directory.mkdir(parents=True)
+        (directory / "w1.json").write_text(json.dumps({
+            "worker": "w1",
+            "errors": [
+                {"key": cell.key, "error": "SimulationError: boom"}
+                for cell in prepared.manifest.cells
+            ],
+        }))
+        with pytest.raises(ClusterError, match="failed on every worker"):
+            coordinator.wait(prepared, timeout=5.0)
+
+    def test_assemble_is_golden_identical_to_a_serial_run(
+        self, store, coordinator, tmp_path
+    ):
+        prepared = coordinator.prepare(SPEC)
+        ClusterWorker(store, worker_id="w1", lease_seconds=5.0).run_sweep(
+            prepared.sweep_id
+        )
+        distributed = coordinator.assemble(prepared)
+        serial = Runner(jobs=1, store=ResultStore(tmp_path / "other")).run(SPEC)
+        assert distributed == serial
+        assert distributed.simulated_count == len(SPEC)
+        assert distributed.cached_count == 0
+
+    def test_assemble_raises_on_a_vanished_cell(self, store, coordinator):
+        prepared = coordinator.prepare(SPEC)
+        with pytest.raises(ClusterError, match="vanished"):
+            coordinator.assemble(prepared)
+
+
+class TestRunDistributed:
+    def test_two_workers_finish_the_sweep(self, store, coordinator, tmp_path):
+        events = []
+        result = coordinator.run_distributed(
+            SPEC, workers=2, lease_seconds=10.0, timeout=120.0,
+            progress=events.append,
+        )
+        serial = Runner(jobs=1, store=ResultStore(tmp_path / "other")).run(SPEC)
+        assert result == serial
+        assert len(events) == len(SPEC)
+        status = cluster_status(store)
+        statuses = status["sweeps"][0]["workers"]
+        assert len(statuses) == 2
+        assert sum(w["completed"] for w in statuses) == len(SPEC)
+
+    def test_warm_run_spawns_nothing_and_simulates_zero(
+        self, store, coordinator, monkeypatch
+    ):
+        Runner(jobs=1, store=store).run(SPEC)
+
+        def no_spawn(*args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError("warm sweep spawned a worker")
+
+        monkeypatch.setattr(
+            "repro.cluster.coordinator.spawn_worker", no_spawn
+        )
+        result = coordinator.run_distributed(SPEC, workers=2)
+        assert result.cached_count == len(SPEC)
+        assert result.simulated_count == 0
+
+    def test_negative_workers_is_rejected(self, coordinator):
+        with pytest.raises(ClusterError, match="negative"):
+            coordinator.run_distributed(SPEC, workers=-1)
+
+    def test_zero_workers_publishes_and_times_out_without_a_fleet(
+        self, store, coordinator, monkeypatch
+    ):
+        # workers=0 is the standing-fleet mode: publish + wait only.  With
+        # no fleet serving the store, the wait must hit the timeout (and
+        # the manifest must be left behind for workers to discover).
+        def no_spawn(*args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError("workers=0 spawned a worker")
+
+        monkeypatch.setattr("repro.cluster.coordinator.spawn_worker", no_spawn)
+        with pytest.raises(ClusterError, match="timed out"):
+            coordinator.run_distributed(SPEC, workers=0, timeout=0.2)
+        assert list_sweep_ids(store)
+
+
+class TestStatus:
+    def test_status_reports_progress_claims_and_workers(self, store, coordinator):
+        prepared = coordinator.prepare(SPEC)
+        worker = ClusterWorker(store, worker_id="w1", lease_seconds=5.0)
+        worker.run_sweep(prepared.sweep_id)
+        status = cluster_status(store)
+        assert status["running_sweeps"] == 0
+        sweep = status["sweeps"][0]
+        assert sweep["sweep"] == prepared.sweep_id
+        assert sweep["state"] == "done"
+        assert (sweep["done"], sweep["remaining"]) == (len(SPEC), 0)
+        assert sweep["workers"][0]["worker"] == "w1"
+        assert sweep["workers"][0]["completed"] == len(SPEC)
+        assert sweep["workers"][0]["live"] is True
+
+    def test_status_counts_active_and_expired_claims(self, store, coordinator):
+        prepared = coordinator.prepare(SPEC)
+        claims = ClaimSet(
+            claims_dir(store, prepared.sweep_id), "w1", lease_seconds=0.05
+        )
+        claims.try_claim(prepared.manifest.cells[0].key)
+        fresh = ClaimSet(
+            claims_dir(store, prepared.sweep_id), "w2", lease_seconds=60.0
+        )
+        fresh.try_claim(prepared.manifest.cells[1].key)
+        time.sleep(0.1)
+        sweep = cluster_status(store)["sweeps"][0]
+        assert sweep["state"] == "running"
+        assert sweep["claims_active"] == 1
+        assert sweep["claims_expired"] == 1
+
+    def test_empty_store_has_no_sweeps(self, store):
+        status = cluster_status(store)
+        assert status["sweeps"] == []
+        assert status["running_sweeps"] == 0
+
+
+class TestReaping:
+    def _age(self, path, seconds):
+        old = time.time() - seconds
+        for child in [path, *path.rglob("*")]:
+            os.utime(child, (old, old))
+
+    def test_drained_old_sweep_dirs_are_reaped(self, store, coordinator):
+        prepared = coordinator.prepare(SPEC)
+        ClusterWorker(store, worker_id="w1", lease_seconds=5.0).run_sweep(
+            prepared.sweep_id
+        )
+        self._age(sweep_dir(store, prepared.sweep_id), 7200)
+        report = reap_cluster(store, dry_run=True)
+        assert report["sweeps_reaped"] == 1
+        assert sweep_dir(store, prepared.sweep_id).is_dir()  # dry run
+        report = reap_cluster(store)
+        assert report["sweeps_reaped"] == 1
+        assert not sweep_dir(store, prepared.sweep_id).exists()
+
+    def test_running_sweeps_and_fresh_claims_are_left_alone(
+        self, store, coordinator
+    ):
+        prepared = coordinator.prepare(SPEC)
+        claims = ClaimSet(
+            claims_dir(store, prepared.sweep_id), "w1", lease_seconds=30.0
+        )
+        claims.try_claim(prepared.manifest.cells[0].key)
+        report = reap_cluster(store)
+        assert report == {"claims_reaped": 0, "sweeps_reaped": 0}
+        assert sweep_dir(store, prepared.sweep_id).is_dir()
+
+    def test_long_expired_claims_are_reaped(self, store, coordinator):
+        prepared = coordinator.prepare(SPEC)
+        claims = ClaimSet(
+            claims_dir(store, prepared.sweep_id), "w1", lease_seconds=1.0
+        )
+        claims.try_claim(prepared.manifest.cells[0].key)
+        path = claims.path_for(prepared.manifest.cells[0].key)
+        old = time.time() - 7200
+        os.utime(path, (old, old))
+        report = reap_cluster(store)
+        assert report["claims_reaped"] == 1
+        assert not path.exists()
+        # The sweep itself is unfinished and stays.
+        assert sweep_dir(store, prepared.sweep_id).is_dir()
+
+    def test_store_gc_reports_cluster_reaping(self, store, coordinator):
+        prepared = coordinator.prepare(SPEC)
+        ClusterWorker(store, worker_id="w1", lease_seconds=5.0).run_sweep(
+            prepared.sweep_id
+        )
+        self._age(sweep_dir(store, prepared.sweep_id), 7200)
+        report = store.gc()
+        assert report["cluster_sweeps_reaped"] == 1
+        assert report["cluster_claims_reaped"] == 0
+        assert not sweep_dir(store, prepared.sweep_id).exists()

@@ -1,0 +1,154 @@
+"""Unit tests for the cluster manifest: round trips, ranking, validation."""
+
+import json
+
+import pytest
+
+from repro.cluster import (
+    MANIFEST_FORMAT_VERSION,
+    ClusterError,
+    Manifest,
+    ManifestCell,
+    claims_dir,
+    cluster_root,
+    list_sweep_ids,
+    load_manifest,
+    manifest_path,
+    new_sweep_id,
+    remaining_cells,
+    sweep_dir,
+    workers_dir,
+)
+from repro.store import ResultStore
+
+
+def make_cell(key="k1", cost=10, latency=50):
+    return ManifestCell(
+        key=key,
+        program="DYFESM",
+        latency=latency,
+        architecture="dva",
+        scale=1.0,
+        cost=cost,
+    )
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return ResultStore(tmp_path / "cache")
+
+
+class TestPaths:
+    def test_cluster_tree_lives_inside_the_version_dir(self, store):
+        assert cluster_root(store) == store.version_dir / "cluster"
+        assert sweep_dir(store, "sw-1").parent == cluster_root(store)
+        assert manifest_path(store, "sw-1").name == "manifest.json"
+        assert claims_dir(store, "sw-1").name == "claims"
+        assert workers_dir(store, "sw-1").name == "workers"
+
+    @pytest.mark.parametrize("bad", ["", "a/b", "../up", ".hidden"])
+    def test_malformed_sweep_ids_are_rejected(self, store, bad):
+        with pytest.raises(ClusterError):
+            sweep_dir(store, bad)
+
+    def test_new_sweep_ids_are_unique_and_filesystem_safe(self, store):
+        ids = {new_sweep_id() for _ in range(32)}
+        assert len(ids) == 32
+        for sweep_id in ids:
+            sweep_dir(store, sweep_id)  # must not raise
+
+
+class TestManifest:
+    def test_cells_are_ranked_costliest_first_with_key_tiebreak(self):
+        manifest = Manifest(
+            sweep_id="sw-1",
+            spec={},
+            created_unix=0.0,
+            cells=(
+                make_cell("cheap", cost=1),
+                make_cell("big-b", cost=99),
+                make_cell("big-a", cost=99),
+                make_cell("mid", cost=10),
+            ),
+        )
+        assert [cell.key for cell in manifest.cells] == [
+            "big-a", "big-b", "mid", "cheap",
+        ]
+
+    def test_write_then_load_round_trips(self, store):
+        manifest = Manifest(
+            sweep_id="sw-rt",
+            spec={"programs": ["DYFESM"], "scale": 1.0},
+            created_unix=123.456,
+            cells=(make_cell("k1", cost=5), make_cell("k2", cost=50)),
+        )
+        path = manifest.write(store)
+        assert path.is_file()
+        loaded = load_manifest(store, "sw-rt")
+        assert loaded == manifest
+        assert len(loaded) == 2
+
+    def test_load_missing_manifest_raises(self, store):
+        with pytest.raises(ClusterError, match="no manifest"):
+            load_manifest(store, "sw-nope")
+
+    def test_load_corrupt_manifest_raises(self, store):
+        path = manifest_path(store, "sw-bad")
+        path.parent.mkdir(parents=True)
+        path.write_text("{ not json")
+        with pytest.raises(ClusterError, match="corrupt"):
+            load_manifest(store, "sw-bad")
+
+    def test_wrong_format_version_is_refused(self, store):
+        path = manifest_path(store, "sw-v9")
+        path.parent.mkdir(parents=True)
+        path.write_text(json.dumps({
+            "format": MANIFEST_FORMAT_VERSION + 1,
+            "sweep_id": "sw-v9",
+            "cells": [],
+        }))
+        with pytest.raises(ClusterError, match="format"):
+            load_manifest(store, "sw-v9")
+
+    def test_mislabelled_manifest_is_refused(self, store):
+        manifest = Manifest(
+            sweep_id="sw-other", spec={}, created_unix=0.0, cells=()
+        )
+        data = manifest.to_json()
+        path = manifest_path(store, "sw-here")
+        path.parent.mkdir(parents=True)
+        path.write_text(json.dumps(data))
+        with pytest.raises(ClusterError, match="labels itself"):
+            load_manifest(store, "sw-here")
+
+    def test_malformed_cell_raises(self):
+        with pytest.raises(ClusterError, match="malformed"):
+            ManifestCell.from_json({"key": "k", "program": "X"})
+
+
+class TestDiscovery:
+    def test_list_sweep_ids_orders_by_manifest_age(self, store):
+        import os
+
+        for index, sweep_id in enumerate(["sw-b", "sw-a", "sw-c"]):
+            Manifest(
+                sweep_id=sweep_id, spec={}, created_unix=0.0, cells=()
+            ).write(store)
+            os.utime(manifest_path(store, sweep_id), (index, index))
+        assert list_sweep_ids(store) == ["sw-b", "sw-a", "sw-c"]
+
+    def test_list_sweep_ids_empty_without_cluster_dir(self, store):
+        assert list_sweep_ids(store) == []
+
+    def test_remaining_cells_drops_cells_the_store_answers(self, store, monkeypatch):
+        manifest = Manifest(
+            sweep_id="sw-r",
+            spec={},
+            created_unix=0.0,
+            cells=(make_cell("aa" * 32, cost=1), make_cell("bb" * 32, cost=2)),
+        )
+        done = {"bb" * 32}
+        monkeypatch.setattr(
+            type(store), "__contains__", lambda self, key: key in done
+        )
+        assert [cell.key for cell in remaining_cells(manifest, store)] == ["aa" * 32]

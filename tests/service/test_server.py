@@ -251,6 +251,9 @@ class TestEndpoints:
         assert service["requests_served"] == 2
         assert service["sweeps_submitted"] == 0
         assert service["scheduler"]["simulated"] == 1
+        # ...plus the cluster block (no distributed sweeps here, so empty).
+        assert payload["cluster"]["sweeps"] == []
+        assert payload["cluster"]["running_sweeps"] == 0
 
     @pytest.mark.parametrize(
         "method, path, body, status",
