@@ -1,0 +1,290 @@
+"""Differential fuzzing of the tick and event timing cores.
+
+The two timing cores (:mod:`repro.engine.events` explains the inversion)
+promise *cycle identity*: for any trace and any machine, the event-driven
+skip-ahead core must produce exactly the result the one-pass tick oracle
+produces — same total cycles, same per-category stall counters, same final
+scoreboard — or raise exactly the same error.  This module generates random
+(machine, program, latency) cases and checks that promise, one case at a
+time.
+
+Everything here is deterministic in the seed: :func:`case_seed` derives one
+case seed per index from a master seed, :func:`generate_case` expands a case
+seed into a fully-described :class:`FuzzCase`, and :func:`run_case` runs the
+case on both cores and reports the first divergence (or ``None``).  The CI
+batch in ``tests/engine/test_event_equivalence.py`` and the standalone
+driver ``scripts/fuzz_cores.py`` both build on these three functions, so a
+CI failure always comes with a one-line repro command.
+
+The harness deliberately instantiates the simulation *states* directly
+(rather than going through :class:`~repro.core.registry.SpecArchitecture`)
+so it can compare the final scoreboard — internal machine state the public
+result does not carry.  Results are still compared via ``to_json()``, the
+exact payload the store persists.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.common.errors import SimulationError
+from repro.memory.model import MemoryModel
+from repro.workloads import synthetic
+from repro.workloads.kernel import KernelSchedule
+from repro.workloads.program_model import ProgramModel, ProgramTargets
+
+#: Synthetic kernel factories the fuzzer draws programs from.
+KERNELS: Tuple[str, ...] = (
+    "daxpy",
+    "stream_triad",
+    "stencil3",
+    "compute_bound",
+    "reduction",
+    "spill_heavy",
+    "gather_scatter",
+    "strided",
+)
+
+#: Memory latencies exercised — the paper's extremes plus two interior points.
+LATENCIES: Tuple[int, ...] = (1, 7, 50, 100)
+
+#: Default master seed (today's date when the suite was written); the CI batch
+#: uses it so failures are reproducible across machines.
+DEFAULT_SEED = 20260808
+
+
+def case_seed(master: int, index: int) -> int:
+    """The per-case seed derived from a master seed and a case index.
+
+    A multiplicative hash keeps neighbouring indices uncorrelated while
+    staying trivially recomputable from the repro command's two integers.
+    """
+    return (master * 1_000_003 + index) & 0xFFFFFFFF
+
+
+@dataclass(frozen=True)
+class FuzzCase:
+    """One fully-described differential test case.
+
+    Every field that shapes timing is explicit, so ``describe()`` is a
+    complete record of what diverged.  Reference-family cases ignore the
+    queue-depth fields; decoupled-family cases ignore ``chaining``.
+    """
+
+    seed: int
+    family: str
+    kernel: str
+    elements: int
+    max_vector_length: int
+    invocations: int
+    latency: int
+    lanes: int
+    ports: int
+    chaining: bool = False
+    bypass: bool = False
+    instruction_queue: int = 16
+    vector_load_data: int = 256
+    vector_store_data: int = 16
+    scalar_store_address: int = 16
+    scalar_data: int = 256
+
+    def describe(self) -> str:
+        common = (
+            f"seed={self.seed} family={self.family} kernel={self.kernel} "
+            f"elements={self.elements} mvl={self.max_vector_length} "
+            f"invocations={self.invocations} latency={self.latency} "
+            f"lanes={self.lanes} ports={self.ports}"
+        )
+        if self.family == "ref":
+            return f"{common} chaining={'on' if self.chaining else 'off'}"
+        return (
+            f"{common} bypass={'on' if self.bypass else 'off'} "
+            f"iq={self.instruction_queue} avdq={self.vector_load_data} "
+            f"vadq={self.vector_store_data} ssaq={self.scalar_store_address} "
+            f"sdq={self.scalar_data}"
+        )
+
+    def build_trace(self):
+        """The dynamic instruction trace this case simulates."""
+        factory = getattr(synthetic, self.kernel)
+        kernel = factory(
+            self.elements,
+            max_vector_length=self.max_vector_length,
+            invocations=self.invocations,
+        )
+        model = ProgramModel(
+            name=f"fuzz-{self.seed}",
+            description="differential fuzz case",
+            schedules=(KernelSchedule(kernel, 1),),
+            targets=ProgramTargets(),
+            prologue_scalar_instructions=8,
+        )
+        return model.build_trace(scale=1.0)
+
+    def build_config(self):
+        """The family configuration block this case pins."""
+        if self.family == "ref":
+            from repro.refarch.config import ReferenceConfig
+
+            return ReferenceConfig(
+                allow_load_chaining=self.chaining,
+                lanes=self.lanes,
+                memory_ports=self.ports,
+            )
+        from repro.dva.config import DecoupledConfig, QueueSizes
+
+        return DecoupledConfig(
+            queues=QueueSizes(
+                instruction_queue=self.instruction_queue,
+                vector_load_data=self.vector_load_data,
+                vector_store_data=self.vector_store_data,
+                scalar_store_address=self.scalar_store_address,
+                scalar_data=self.scalar_data,
+            ),
+            enable_bypass=self.bypass,
+            lanes=self.lanes,
+            memory_ports=self.ports,
+        )
+
+    def _state_class(self, core: str):
+        if self.family == "ref":
+            from repro.refarch.event_core import _EventReferenceState
+            from repro.refarch.simulator import _SimulationState
+
+            return _EventReferenceState if core == "event" else _SimulationState
+        from repro.dva.event_core import _EventDecoupledState
+        from repro.dva.simulator import _DecoupledState
+
+        return _EventDecoupledState if core == "event" else _DecoupledState
+
+    def simulate(self, core: str, trace=None):
+        """Run this case on one core.
+
+        Returns ``(result_json, scoreboard_snapshot, error_message)``; on a
+        :class:`SimulationError` the first two are ``None`` and the message
+        carries the exact error text (the cores must raise identically).
+        """
+        if trace is None:
+            trace = self.build_trace()
+        state_class = self._state_class(core)
+        state = state_class(MemoryModel(latency=self.latency), self.build_config())
+        try:
+            state.consume(trace)
+            result = state.finish(trace)
+        except SimulationError as exc:
+            return None, None, str(exc)
+        return result.to_json(), _scoreboard_snapshot(state), None
+
+
+def _scoreboard_snapshot(state) -> List[Tuple[str, int, Optional[int], str]]:
+    """The final scoreboard as a sorted, comparable list of tuples."""
+    entries = state.core.scoreboard._entries
+    return sorted(
+        (repr(register), entry.ready, entry.chain_start, repr(entry.owner))
+        for register, entry in entries.items()
+    )
+
+
+def generate_case(seed: int) -> FuzzCase:
+    """Expand one case seed into a fully-described :class:`FuzzCase`."""
+    rng = random.Random(seed)
+    family = rng.choice(("ref", "dva"))
+    kernel = rng.choice(KERNELS)
+    elements = rng.choice((8, 17, 64, 200))
+    max_vector_length = rng.choice((16, 64))
+    invocations = rng.choice((1, 2, 3))
+    latency = rng.choice(LATENCIES)
+    lanes = rng.choice((1, 2, 3, 4))
+    ports = rng.choice((1, 2, 3))
+    if family == "ref":
+        return FuzzCase(
+            seed=seed,
+            family=family,
+            kernel=kernel,
+            elements=elements,
+            max_vector_length=max_vector_length,
+            invocations=invocations,
+            latency=latency,
+            lanes=lanes,
+            ports=ports,
+            chaining=rng.choice((False, True)),
+        )
+    return FuzzCase(
+        seed=seed,
+        family=family,
+        kernel=kernel,
+        elements=elements,
+        max_vector_length=max_vector_length,
+        invocations=invocations,
+        latency=latency,
+        lanes=lanes,
+        ports=ports,
+        bypass=rng.choice((False, True)),
+        instruction_queue=rng.choice((1, 2, 4, 16)),
+        vector_load_data=rng.choice((1, 2, 4, 256)),
+        vector_store_data=rng.choice((1, 2, 4, 16)),
+        scalar_store_address=rng.choice((1, 2, 16)),
+        scalar_data=rng.choice((2, 4, 256)),
+    )
+
+
+def run_case(case: FuzzCase) -> Optional[str]:
+    """Run one case on both cores; ``None`` on identity, else a diagnosis.
+
+    The trace is built once and shared — trace generation is deterministic
+    and read-only, but sharing it also rules out the generator as a source
+    of divergence.
+    """
+    trace = case.build_trace()
+    tick_json, tick_board, tick_error = case.simulate("tick", trace)
+    event_json, event_board, event_error = case.simulate("event", trace)
+    if tick_error is not None or event_error is not None:
+        if tick_error == event_error:
+            return None
+        return (
+            f"error divergence: tick={tick_error!r} event={event_error!r}\n"
+            f"  case: {case.describe()}"
+        )
+    if tick_json != event_json:
+        diffs = sorted(
+            key
+            for key in set(tick_json) | set(event_json)
+            if tick_json.get(key) != event_json.get(key)
+        )
+        return (
+            f"result divergence in fields {diffs}: "
+            f"tick={[tick_json.get(k) for k in diffs]} "
+            f"event={[event_json.get(k) for k in diffs]}\n"
+            f"  case: {case.describe()}"
+        )
+    if tick_board != event_board:
+        pairs = [
+            (t, e) for t, e in zip(tick_board, event_board) if t != e
+        ] or [(tick_board[-1], event_board[-1])]
+        return (
+            f"scoreboard divergence: tick={pairs[0][0]} event={pairs[0][1]}\n"
+            f"  case: {case.describe()}"
+        )
+    return None
+
+
+def repro_command(master: int, index: int) -> str:
+    """The minimized one-case repro command printed on a mismatch."""
+    return (
+        f"PYTHONPATH=src python scripts/fuzz_cores.py "
+        f"--seed {master} --case {index}"
+    )
+
+
+__all__ = [
+    "DEFAULT_SEED",
+    "FuzzCase",
+    "KERNELS",
+    "LATENCIES",
+    "case_seed",
+    "generate_case",
+    "repro_command",
+    "run_case",
+]

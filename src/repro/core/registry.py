@@ -98,15 +98,16 @@ class SpecArchitecture:
         """Run ``trace`` on this machine: the spec's pins override ``config``."""
         memory = MemoryModel(latency=config.latency)
         provenance = self.spec.to_json()
+        core = self.spec.core if self.spec.core is not None else config.core
         if self.spec.family == "ref":
             simulator = ReferenceSimulator(
-                memory, config=self.spec.apply_reference(config.reference)
+                memory, config=self.spec.apply_reference(config.reference), core=core
             )
             return RunResult.from_reference(
                 simulator.run(trace), architecture=self.name, spec=provenance
             )
         simulator = DecoupledSimulator(
-            memory, config=self.spec.apply_decoupled(config.decoupled)
+            memory, config=self.spec.apply_decoupled(config.decoupled), core=core
         )
         return RunResult.from_decoupled(
             simulator.run(trace), architecture=self.name, spec=provenance

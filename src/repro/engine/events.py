@@ -1,0 +1,169 @@
+"""Event-queue/next-wakeup scheduling for the skip-ahead timing cores.
+
+The tick cores (:mod:`repro.refarch.simulator`, :mod:`repro.dva.simulator`)
+decide each instruction's issue cycle by folding every constraint into a
+running ``max`` as they encounter it.  The event cores invert that control
+flow: each constraint — a scoreboard release, the memory bus freeing, a
+queue slot draining, a pending store retiring — is registered as a *wakeup*
+on a :class:`WakeupScheduler`, and one :meth:`~WakeupScheduler.jump` pops the
+wakeups in cycle order and moves the consumer's clock straight to the last
+one.  Because the pops come back time-sorted, every cycle skipped between
+two wakeups is unambiguously the fault of the *next* wakeup's resource, so
+the scheduler attributes each skipped span to the blocking resource's tag as
+it jumps — stall accounting stays exact without ever visiting the idle
+cycles one by one.
+
+Two invariants make the attribution trustworthy (property-tested in
+``tests/engine/test_event_queue.py``):
+
+* pops are monotonically non-decreasing in time, FIFO among equal times, and
+  a wakeup is never lost — two resources freeing on the same cycle both pop,
+  the second with a zero-cycle span;
+* over one :meth:`~WakeupScheduler.jump`, the attributed spans sum exactly
+  to ``final − start`` (zero when every wakeup is already in the past).
+
+The schedulers are diagnostic machinery layered *beside* the shared
+primitives, not a second timing model: the event cores drive the same
+:class:`~repro.engine.Scoreboard`/:class:`~repro.engine.ResourcePool`/
+:class:`~repro.engine.MemoryFabric` state through the same mutations in the
+same order, which is why their results are cycle-identical to the tick
+cores (the golden suite and the differential fuzz harness pin this).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from repro.common.errors import ConfigurationError, SimulationError
+
+#: The timing-core implementations a simulator can run on.  ``tick`` is the
+#: oracle — the original one-pass max-folding control flow; ``event`` is the
+#: wakeup-scheduler control flow of this module.  Results are identical by
+#: contract, so the selector never participates in store keys.
+CORES: Tuple[str, ...] = ("tick", "event")
+
+
+def validate_core(core: str) -> str:
+    """Return ``core`` if it names a known timing core, else raise."""
+    if core not in CORES:
+        raise ConfigurationError(
+            f"unknown timing core {core!r} (known: {', '.join(CORES)})"
+        )
+    return core
+
+
+class EventQueue:
+    """A min-heap of ``(cycle, tag)`` wakeups with FIFO tie-breaking.
+
+    Tags are opaque labels for the resource that scheduled the wakeup (a
+    string in the simulators).  Equal-time wakeups pop in insertion order —
+    a monotonically increasing sequence number breaks heap ties, so tags
+    never need to be comparable — and pop times are guarded to be
+    non-decreasing within one *drain* (between :meth:`reset_guard` calls):
+    a consumer that drains the queue per jump may then register wakeups in
+    the past for its next jump, which is legal, but out-of-order pops inside
+    a single drain are a scheduling bug.
+    """
+
+    __slots__ = ("_heap", "_pushes", "last_popped")
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[int, int, Hashable]] = []
+        self._pushes = 0
+        self.last_popped: Optional[int] = None
+
+    def push(self, time: int, tag: Hashable) -> None:
+        """Register a wakeup at ``time`` attributed to ``tag``."""
+        heapq.heappush(self._heap, (time, self._pushes, tag))
+        self._pushes += 1
+
+    def pop(self) -> Tuple[int, Hashable]:
+        """Remove and return the earliest ``(time, tag)`` wakeup."""
+        if not self._heap:
+            raise SimulationError("pop from an empty event queue")
+        time, _sequence, tag = heapq.heappop(self._heap)
+        if self.last_popped is not None and time < self.last_popped:
+            raise SimulationError(
+                f"event queue popped time {time} after {self.last_popped}; "
+                "wakeup order must be non-decreasing within a drain"
+            )
+        self.last_popped = time
+        return time, tag
+
+    def reset_guard(self) -> None:
+        """Start a fresh drain: the next pop may restart from any cycle."""
+        self.last_popped = None
+
+    def peek_time(self) -> int:
+        """Cycle of the earliest registered wakeup."""
+        if not self._heap:
+            raise SimulationError("peek into an empty event queue")
+        return self._heap[0][0]
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+
+class WakeupScheduler:
+    """One consumer's skip-ahead clock over an :class:`EventQueue`.
+
+    The consumer registers every cycle something it is waiting on becomes
+    available (:meth:`wake`), then :meth:`jump` drains the registered
+    wakeups in cycle order starting from ``start``, attributes each
+    incremental skipped span to the wakeup's tag in :attr:`spans`, and
+    returns the final cycle — ``max(start, *wakeups)``, computed by jumping
+    rather than folding.  Wakeups at or before the moving clock pop with a
+    zero-cycle span (the resource was not the bottleneck but is still
+    recorded, so no wakeup is ever lost).
+
+    :attr:`spans` accumulates across jumps: after a full simulation it is
+    the per-resource breakdown of every cycle this consumer skipped.
+    """
+
+    __slots__ = ("events", "spans", "now")
+
+    def __init__(self) -> None:
+        self.events = EventQueue()
+        self.spans: Dict[Hashable, int] = {}
+        self.now = 0
+
+    def wake(self, time: int, tag: Hashable) -> None:
+        """Register that ``tag`` becomes available at ``time``."""
+        self.events.push(time, tag)
+
+    def jump(self, start: int) -> int:
+        """Drain every pending wakeup and return the resulting cycle.
+
+        Starting the clock at ``start``, each wakeup later than the clock
+        advances it and charges the skipped span to the wakeup's tag; the
+        attributed spans of one jump sum exactly to ``final − start``.
+        """
+        clock = start
+        events = self.events
+        events.reset_guard()
+        spans = self.spans
+        while events:
+            time, tag = events.pop()
+            if time > clock:
+                spans[tag] = spans.get(tag, 0) + (time - clock)
+                clock = time
+            elif tag not in spans:
+                spans[tag] = 0
+        self.now = clock
+        return clock
+
+    def total_skipped(self) -> int:
+        """Every cycle this consumer ever skipped, summed over all tags."""
+        return sum(self.spans.values())
+
+
+__all__ = [
+    "CORES",
+    "EventQueue",
+    "WakeupScheduler",
+    "validate_core",
+]

@@ -1,0 +1,143 @@
+"""Property tests for the event queue and the wakeup scheduler.
+
+Two invariants carry the event core's correctness argument (see
+:mod:`repro.engine.events`):
+
+1. within one drain, pop times are non-decreasing, and same-cycle wakeups
+   all surface — none may be lost when two resources free on the same cycle;
+2. the spans one ``jump`` attributes to blocking resources sum exactly to
+   the distance travelled (``final - start``), so skip-ahead stall
+   accounting can never invent or drop a cycle.
+
+The tests below pin both properties on seeded random workloads plus the
+hand-written edge cases (ties, past wakeups, empty queues, guard resets).
+"""
+
+import random
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.engine import EventQueue, WakeupScheduler
+
+
+class TestEventQueueOrdering:
+    def test_pops_are_sorted_within_a_drain(self):
+        rng = random.Random(1234)
+        for _ in range(50):
+            queue = EventQueue()
+            times = [rng.randrange(0, 1000) for _ in range(rng.randrange(1, 40))]
+            for time in times:
+                queue.push(time, "resource")
+            popped = [queue.pop()[0] for _ in range(len(times))]
+            assert popped == sorted(times)
+
+    def test_same_time_pushes_pop_in_fifo_order(self):
+        queue = EventQueue()
+        for tag in ("first", "second", "third"):
+            queue.push(7, tag)
+        assert [queue.pop()[1] for _ in range(3)] == ["first", "second", "third"]
+
+    def test_no_wakeup_lost_when_two_resources_free_the_same_cycle(self):
+        queue = EventQueue()
+        queue.push(5, "memory-port")
+        queue.push(5, "functional-unit")
+        popped = [queue.pop() for _ in range(2)]
+        assert popped == [(5, "memory-port"), (5, "functional-unit")]
+
+    def test_pop_from_empty_queue_raises(self):
+        with pytest.raises(SimulationError, match="empty event queue"):
+            EventQueue().pop()
+
+    def test_peek_into_empty_queue_raises(self):
+        with pytest.raises(SimulationError, match="empty event queue"):
+            EventQueue().peek_time()
+
+    def test_peek_does_not_consume(self):
+        queue = EventQueue()
+        queue.push(3, "operand")
+        assert queue.peek_time() == 3
+        assert len(queue) == 1
+        assert queue.pop() == (3, "operand")
+        assert not queue
+
+    def test_guard_is_per_drain_not_per_lifetime(self):
+        # A wakeup registered after one drain may legitimately be *earlier*
+        # than that drain's pops (a later instruction's operand was ready
+        # long ago).  reset_guard makes the monotonicity contract per-drain.
+        queue = EventQueue()
+        queue.push(10, "memory-port")
+        assert queue.pop() == (10, "memory-port")
+        queue.push(2, "operand")
+        with pytest.raises(SimulationError, match="non-decreasing within a drain"):
+            queue.pop()
+        queue.push(2, "operand")  # the failed pop consumed the entry
+        queue.reset_guard()
+        assert queue.pop() == (2, "operand")
+
+
+class TestWakeupSchedulerAttribution:
+    def test_skip_spans_sum_exactly_to_the_distance_travelled(self):
+        rng = random.Random(987)
+        for _ in range(100):
+            scheduler = WakeupScheduler()
+            start = rng.randrange(0, 50)
+            for _ in range(rng.randrange(0, 12)):
+                scheduler.wake(
+                    rng.randrange(0, 200),
+                    rng.choice(("operand", "memory-port", "functional-unit")),
+                )
+            final = scheduler.jump(start)
+            assert final >= start
+            assert sum(scheduler.spans.values()) == final - start
+
+    def test_jump_with_no_events_stays_put(self):
+        scheduler = WakeupScheduler()
+        assert scheduler.jump(17) == 17
+        assert scheduler.spans == {}
+        assert scheduler.total_skipped() == 0
+
+    def test_each_span_goes_to_the_resource_that_blocked(self):
+        scheduler = WakeupScheduler()
+        scheduler.wake(4, "operand")
+        scheduler.wake(9, "memory-port")
+        assert scheduler.jump(1) == 9
+        assert scheduler.spans == {"operand": 3, "memory-port": 5}
+
+    def test_same_cycle_wakeups_attribute_once_without_losing_either(self):
+        scheduler = WakeupScheduler()
+        scheduler.wake(6, "memory-port")
+        scheduler.wake(6, "functional-unit")
+        assert scheduler.jump(2) == 6
+        # The first pop at 6 takes the whole span; the second surfaces with
+        # a zero-cycle entry rather than vanishing.
+        assert scheduler.spans == {"memory-port": 4, "functional-unit": 0}
+
+    def test_past_wakeups_never_move_the_clock_backwards(self):
+        scheduler = WakeupScheduler()
+        scheduler.wake(3, "operand")
+        assert scheduler.jump(10) == 10
+        assert scheduler.spans == {"operand": 0}
+
+    def test_spans_accumulate_across_jumps(self):
+        rng = random.Random(55)
+        scheduler = WakeupScheduler()
+        travelled = 0
+        clock = 0
+        for _ in range(30):
+            for _ in range(rng.randrange(0, 5)):
+                scheduler.wake(clock + rng.randrange(0, 40), "memory-port")
+            final = scheduler.jump(clock)
+            travelled += final - clock
+            clock = final + rng.randrange(0, 3)
+        assert scheduler.total_skipped() == travelled
+
+    def test_consecutive_jumps_tolerate_earlier_wakeups(self):
+        # The scenario that motivated the per-drain guard: jump one reaches
+        # cycle 20, then the next instruction's operand was ready at 5.
+        scheduler = WakeupScheduler()
+        scheduler.wake(20, "memory-port")
+        assert scheduler.jump(0) == 20
+        scheduler.wake(5, "operand")
+        assert scheduler.jump(20) == 20
+        assert scheduler.spans == {"memory-port": 20, "operand": 0}

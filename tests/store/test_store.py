@@ -167,8 +167,12 @@ class TestEviction:
         for index, key in enumerate(keys):
             store.put(key, ref_result)
             self._age(store, key, days=len(keys) - index)
-        size = store.object_path(keys[0]).stat().st_size
-        report = store.gc(max_bytes=2 * size)
+        # Budget exactly the two newest entries.  Entry files differ by a
+        # few bytes (the created_unix float's repr length varies), so a
+        # budget of 2x the oldest entry's size can undershoot the two the
+        # test means to keep and evict a second entry.
+        budget = sum(store.object_path(key).stat().st_size for key in keys[1:])
+        report = store.gc(max_bytes=budget)
         assert report["evicted"] == 1
         assert store.get(keys[0]) is None  # the oldest went
         assert all(store.get(key) is not None for key in keys[1:])
